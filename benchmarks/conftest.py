@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artefact — a full 12-snapshot scan campaign over the
+synthetic ecosystem — is built once per session; each benchmark then
+times its own figure's analysis step and prints the same rows/series
+the paper reports (paper value next to measured value).
+
+Scale: 0.02 of the paper's population (68,030 MTA-STS domains scale to
+~1,360 at the final snapshot) keeps the full campaign around a minute
+while leaving every event cohort non-degenerate.  Percentages are
+scale-free and are what the assertions check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.series import CampaignAnalysis, run_campaign
+from repro.ecosystem.population import PopulationConfig
+from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+
+SCALE = 0.02
+SEED = 20240929
+
+
+@pytest.fixture(scope="session")
+def timeline() -> EcosystemTimeline:
+    return EcosystemTimeline(
+        TimelineConfig(PopulationConfig(scale=SCALE, seed=SEED)))
+
+
+@pytest.fixture(scope="session")
+def campaign(timeline) -> CampaignAnalysis:
+    return run_campaign(timeline)
+
+
+@pytest.fixture(scope="session")
+def survey_findings():
+    from repro.survey.analysis import analyze
+    from repro.survey.synthesize import synthesize_respondents
+    return analyze(synthesize_respondents())
+
+
+#: Every paper-vs-measured row emitted during the session; echoed in
+#: the terminal summary so the comparison survives output capturing.
+COMPARISON_LOG: list = []
+
+
+def paper_row(label: str, paper_value, measured_value) -> str:
+    line = (f"  {label:<46} paper={paper_value!s:<12} "
+            f"measured={measured_value}")
+    COMPARISON_LOG.append(line)
+    return line
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not COMPARISON_LOG:
+        return
+    terminalreporter.write_sep("=", "paper vs measured")
+    for line in COMPARISON_LOG:
+        terminalreporter.write_line(line)

@@ -1,0 +1,132 @@
+"""Security ablation: the §1 threat model under each sender policy.
+
+The paper motivates MTA-STS with STARTTLS-stripping and traffic-
+interception attacks, and footnote 2 concedes the trust-on-first-use
+gap.  This benchmark regenerates the full protection matrix:
+
+================  ===========  ==========  ====================
+sender            stripping    MX spoof    strip+block, no cache
+================  ===========  ==========  ====================
+opportunistic     intercepted  redirected  intercepted
+MTA-STS           protected    protected   intercepted (TOFU)
+MTA-STS (cached)  protected    protected   protected
+================  ===========  ==========  ====================
+"""
+
+from repro.attacks import DnsSpoofer, PolicyHostBlocker, StarttlsStripper
+from repro.core.fetch import PolicyFetcher
+from repro.core.policy import Policy, PolicyMode
+from repro.core.sender import MtaStsSender
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.ecosystem.world import World
+from repro.smtp.delivery import DeliveryStatus, Message, SendingMta
+from benchmarks.conftest import paper_row
+
+
+def _fresh_setup():
+    world = World()
+    victim = deploy_domain(world, DomainSpec(
+        domain="victim.com",
+        policy=Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                      max_age=7 * 86400,
+                      mx_patterns=("mail.victim.com",))))
+    fetcher = PolicyFetcher(world.resolver, world.https_client)
+    return world, victim, fetcher
+
+
+def _sts_sender(world, fetcher, name="secure.net"):
+    return MtaStsSender(name, world.network, world.resolver,
+                        world.trust_store, world.clock, fetcher)
+
+
+def _matrix():
+    results = {}
+
+    # Scenario A: STARTTLS stripping.
+    world, victim, fetcher = _fresh_setup()
+    stripper = StarttlsStripper(world.network)
+    stripper.attack(victim.mx_hosts[0])
+    naive = SendingMta("naive.net", world.network, world.resolver,
+                       world.trust_store, world.clock)
+    results["strip/opportunistic"] = naive.send(
+        Message("a@n", "b@victim.com")).status
+    results["strip/opportunistic-intercepted"] = stripper.plaintext_captured
+    stripper.intercepted_messages.clear()
+    results["strip/mta-sts"] = _sts_sender(world, fetcher).send(
+        Message("a@s", "b@victim.com")).status
+    results["strip/mta-sts-intercepted"] = stripper.plaintext_captured
+
+    # Scenario B: MX spoofing toward an attacker with a valid cert.
+    world, victim, fetcher = _fresh_setup()
+    from repro.dns.name import DnsName
+    from repro.dns.records import ARecord
+    from repro.dns.zone import Zone
+    from repro.smtp.server import MxHost
+    from repro.tls.handshake import TlsEndpoint
+    ip = world.fresh_ip("mx")
+    tls = TlsEndpoint()
+    tls.install("mx.evil.net", world.issue_cert(["mx.evil.net"]),
+                default=True)
+    evil = MxHost("mx.evil.net", ip, world.network, tls=tls)
+    zone = Zone(apex=DnsName.parse("evil.net"))
+    zone.add(ARecord(DnsName.parse("mx.evil.net"), 60, ip))
+    world.host_zone(zone)
+    spoofer = DnsSpoofer(world.resolver)
+    spoofer.spoof_mx("victim.com", "mx.evil.net")
+    naive = SendingMta("naive.net", world.network, world.resolver,
+                       world.trust_store, world.clock)
+    naive.send(Message("a@n", "b@victim.com"))
+    results["spoof/opportunistic-redirected"] = bool(evil.mailbox)
+    results["spoof/mta-sts"] = _sts_sender(world, fetcher).send(
+        Message("a@s", "b@victim.com")).status
+    results["spoof/mta-sts-redirected"] = len(evil.mailbox) > 1
+
+    # Scenario C: strip + policy-host block, first contact vs cached.
+    world, victim, fetcher = _fresh_setup()
+    veteran = _sts_sender(world, fetcher, "veteran.net")
+    veteran.send(Message("a@v", "b@victim.com"))   # warm cache
+    stripper = StarttlsStripper(world.network)
+    stripper.attack(victim.mx_hosts[0])
+    blocker = PolicyHostBlocker(world.resolver)
+    blocker.block_policy_host("victim.com")
+    world.resolver.flush_cache()
+    newcomer = _sts_sender(world, fetcher, "newcomer.net")
+    results["tofu/first-contact"] = newcomer.send(
+        Message("a@n", "b@victim.com")).status
+    stripper.intercepted_messages.clear()
+    results["tofu/cached"] = veteran.send(
+        Message("a@v", "b@victim.com")).status
+    results["tofu/cached-intercepted"] = stripper.plaintext_captured
+    return results
+
+
+def test_ablation_security_matrix(benchmark):
+    results = benchmark.pedantic(_matrix, iterations=1, rounds=1)
+    print()
+    print(paper_row("stripping vs opportunistic sender",
+                    "downgrade succeeds",
+                    results["strip/opportunistic"].value))
+    print(paper_row("stripping vs MTA-STS sender", "refused",
+                    results["strip/mta-sts"].value))
+    print(paper_row("MX spoof vs MTA-STS sender", "refused",
+                    results["spoof/mta-sts"].value))
+    print(paper_row("TOFU gap: first contact under full attack",
+                    "downgrade succeeds (fn. 2)",
+                    results["tofu/first-contact"].value))
+    print(paper_row("TOFU gap: cached policy", "protected",
+                    results["tofu/cached"].value))
+
+    assert results["strip/opportunistic"] is \
+        DeliveryStatus.DELIVERED_PLAINTEXT
+    assert results["strip/opportunistic-intercepted"]
+    assert results["strip/mta-sts"] is DeliveryStatus.REFUSED_BY_POLICY
+    assert not results["strip/mta-sts-intercepted"]
+
+    assert results["spoof/opportunistic-redirected"]
+    assert results["spoof/mta-sts"] is DeliveryStatus.REFUSED_BY_POLICY
+    assert not results["spoof/mta-sts-redirected"]
+
+    assert results["tofu/first-contact"] is \
+        DeliveryStatus.DELIVERED_PLAINTEXT
+    assert results["tofu/cached"] is DeliveryStatus.REFUSED_BY_POLICY
+    assert not results["tofu/cached-intercepted"]

@@ -1,0 +1,38 @@
+"""Figure 11: survey demographics — respondents by managed-account
+bucket, with the MTA-STS-deployed overlay.
+
+Paper: 92 respondents answered, from 22 operators managing fewer than
+10 accounts to 36 managing more than 500; larger operators deploy
+MTA-STS more often (the deployed overlay grows with size).
+"""
+
+from repro.survey.analysis import analyze
+from repro.survey.synthesize import synthesize_respondents
+from benchmarks.conftest import paper_row
+
+
+def test_figure11(benchmark, survey_findings):
+    findings = benchmark(lambda: analyze(synthesize_respondents()))
+    print()
+    print("  Figure 11 — respondents (total / deployed) per bucket")
+    for bucket in ("<10", "10-100", "100-500", "500-1k", ">1k"):
+        total = findings.demographics[bucket]
+        deployed = findings.demographics_deployed[bucket]
+        print(f"  {bucket:<8} {total:>3} / {deployed:<3} "
+              + "#" * total + " (" + "+" * deployed + ")")
+
+    assert sum(findings.demographics.values()) == 92
+    print(paper_row("smallest bucket (<10 accounts)", 22,
+                    findings.demographics["<10"]))
+    assert findings.demographics["<10"] == 22
+    above_500 = (findings.demographics["500-1k"]
+                 + findings.demographics[">1k"])
+    print(paper_row("operators with >500 accounts", 36, above_500))
+    assert above_500 == 36
+
+    # Deployment correlates with operator size.
+    sizes = ["<10", "10-100", "100-500", "500-1k", ">1k"]
+    ratios = [findings.demographics_deployed[b]
+              / max(1, findings.demographics[b]) for b in sizes]
+    assert ratios[-1] > ratios[0]
+    assert sum(findings.demographics_deployed.values()) == 50

@@ -1,0 +1,61 @@
+"""Figure 12: TLSRPT record deployment, 2021-09 → 2024-09.
+
+Paper: (top) the share of MX domains with TLSRPT records starts at
+0.02-0.03% and rises 3-4x, closely tracking MTA-STS adoption; the .se
+series dips in Dec 2021 (82 domains revoked TLSRPT) and .net jumps
+mid-2024 (1,411 domains added, only 198 with MTA-STS).  (bottom) among
+MTA-STS domains, TLSRPT adoption is high and climbs from roughly 35%
+to ~70%.
+"""
+
+from repro.analysis.report import render_series
+from benchmarks.conftest import paper_row
+
+
+def _all_series(timeline):
+    return {tld: timeline.tlsrpt_series(tld)
+            for tld in ("com", "net", "org", "se")}
+
+
+def test_figure12(benchmark, timeline):
+    series = benchmark(_all_series, timeline)
+    print()
+    com = series["com"]
+    shown = com[::26]
+    print(render_series([(i.date_string(), mx_pct)
+                         for i, mx_pct, _ in shown],
+                        title="Figure 12 (top) — .com % of MX domains "
+                              "with TLSRPT", bar_scale=300))
+    print(render_series([(i.date_string(), sts_pct)
+                         for i, _, sts_pct in shown],
+                        title="Figure 12 (bottom) — .com % of MTA-STS "
+                              "domains with TLSRPT", bar_scale=1))
+
+    for tld, points in series.items():
+        first_mx = points[0][1]
+        last_mx = points[-1][1]
+        assert last_mx > first_mx, tld
+        last_sts = points[-1][2]
+        print(paper_row(f".{tld} TLSRPT share of MTA-STS domains (%)",
+                        "~70", round(last_sts, 1)))
+        assert 55 <= last_sts <= 85
+
+    # The bottom series climbs over the window for every TLD.
+    for tld, points in series.items():
+        mid = points[len(points) // 2][2]
+        assert points[-1][2] >= mid - 5
+
+    # The .se December-2021 revocation dents the top series.
+    se = series["se"]
+    by_date = {i.date_string(): mx for i, mx, _ in se}
+    before = by_date["2021-12-16"]
+    after = by_date["2021-12-30"]
+    print(paper_row(".se Dec-21 TLSRPT dip", "82 domains revoked",
+                    f"{round(before, 4)} -> {round(after, 4)}"))
+    assert after < before
+
+    # The .net mid-2024 additions lift that series.
+    net = series["net"]
+    by_date_net = {i.date_string(): mx for i, mx, _ in net}
+    jump = by_date_net["2024-07-11"] - by_date_net["2024-06-13"]
+    assert jump > 0

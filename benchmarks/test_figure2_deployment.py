@@ -1,0 +1,46 @@
+"""Figure 2: weekly MTA-STS record deployment per TLD, 2021-09 → 2024-09.
+
+Paper shape: adoption starts at 0.02-0.03% and rises 3-4x by 2024-09 to
+0.07% (.com) … 0.12-0.13% (.org); a spike of 461 .org domains lands on
+Jan 2, 2024.
+"""
+
+from repro.analysis.report import render_series
+from benchmarks.conftest import paper_row
+
+PAPER_FINAL_PCT = {"com": 0.07, "net": 0.09, "org": 0.13, "se": 0.08}
+
+
+def _all_series(timeline):
+    return {tld: timeline.adoption_series(tld)
+            for tld in ("com", "net", "org", "se")}
+
+
+def test_figure2(benchmark, timeline):
+    series = benchmark(_all_series, timeline)
+    print()
+    for tld, points in series.items():
+        sampled = points[::26]     # every ~6 months, for display
+        print(render_series(
+            [(i.date_string(), pct) for i, _, pct in sampled],
+            title=f"Figure 2 — .{tld} (% of MX domains with MTA-STS)",
+            bar_scale=300))
+        first_count = points[0][1]
+        last_count = points[-1][1]
+        growth = last_count / max(1, first_count)
+        print(paper_row(f".{tld} growth factor over window", "3-4x",
+                        round(growth, 2)))
+        assert 2.0 <= growth <= 6.5
+        print(paper_row(f".{tld} final share (%)", PAPER_FINAL_PCT[tld],
+                        round(points[-1][2], 3)))
+
+    # The Jan 2, 2024 .org spike: a visible week-over-week jump.
+    org = series["org"]
+    jumps = {org[i][0].date_string(): org[i][1] - org[i - 1][1]
+             for i in range(1, len(org))}
+    window = [v for d, v in jumps.items() if "2023-12-25" <= d <= "2024-01-15"]
+    typical = sorted(jumps.values())[len(jumps) // 2]
+    assert max(window) > typical + 3
+    # .org overtakes every other TLD by the end, as in the paper.
+    finals = {tld: points[-1][2] for tld, points in series.items()}
+    assert finals["org"] == max(finals.values())

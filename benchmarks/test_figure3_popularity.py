@@ -1,0 +1,37 @@
+"""Figure 3: MTA-STS adoption vs Tranco popularity rank (bins of 10k).
+
+Paper shape: ~1.2% adoption in the top 10k bin declining to ~0.4% in
+the bottom bin — a positive popularity correlation but low absolute
+deployment across every range.
+"""
+
+from repro.analysis.report import render_series
+from repro.ecosystem.tranco import TrancoRanking
+from benchmarks.conftest import paper_row
+
+
+def test_figure3(benchmark):
+    ranking = TrancoRanking(list_size=1_000_000, bin_size=10_000)
+    bins = benchmark(ranking.binned_adoption)
+    print()
+    shown = bins[::10]
+    print(render_series([(f"rank {start // 1000}k", pct)
+                         for start, pct in shown],
+                        title="Figure 3 — % of domains with MTA-STS by "
+                              "Tranco rank bin", bar_scale=30,
+                        label_width=14))
+    top = bins[0][1]
+    bottom = bins[-1][1]
+    print(paper_row("top 10k bin (%)", 1.2, round(top, 2)))
+    print(paper_row("bottom 10k bin (%)", 0.4, round(bottom, 2)))
+    assert 0.9 <= top <= 1.5
+    assert 0.25 <= bottom <= 0.6
+    assert top > 2 * bottom
+
+    # Smoothed monotone decline: each third of the list adopts less
+    # than the previous one.
+    thirds = [sum(p for _, p in bins[i::3]) / len(bins[i::3])
+              for i in range(3)]
+    averages = [sum(p for _, p in bins[i * 33:(i + 1) * 33]) / 33
+                for i in range(3)]
+    assert averages[0] > averages[1] > averages[2]

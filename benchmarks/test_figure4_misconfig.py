@@ -1,0 +1,49 @@
+"""Figure 4: % of MTA-STS-enabled domains misconfigured, by category,
+over the monthly scan window (11/2023 – 09/2024).
+
+Paper: at the final snapshot, 20,144 of 68,030 (29.6%) domains are
+misconfigured; errors are not exclusive; policy-retrieval errors
+dominate throughout (70-85% of errors); Porkbun inflates policy-server
+errors from August 2024 (7,237 domains).  Additionally, 640 (3.2% of
+misconfigured) domains face delivery failure from compliant senders.
+"""
+
+from repro.analysis.report import render_table
+from benchmarks.conftest import paper_row
+
+
+def test_figure4(benchmark, campaign):
+    rows = benchmark(campaign.figure4_series)
+    print()
+    print(render_table(
+        rows, ["date", "total_sts", "misconfigured", "misconfigured_pct",
+               "dns-record", "policy-retrieval", "mx-certificate",
+               "inconsistency"],
+        title="Figure 4 — misconfigured MTA-STS domains by category (%)"))
+
+    final = rows[-1]
+    print(paper_row("final misconfigured (%)", 29.6,
+                    round(final["misconfigured_pct"], 1)))
+    assert 20 <= final["misconfigured_pct"] <= 40
+
+    # Policy retrieval dominates every month.
+    for row in rows:
+        assert row["policy-retrieval"] >= row["mx-certificate"]
+        assert row["policy-retrieval"] >= row["inconsistency"]
+        assert row["policy-retrieval"] >= row["dns-record"]
+
+    # The Porkbun event: the policy-retrieval share jumps in the last
+    # two snapshots relative to the pre-August level.
+    pre = max(r["policy-retrieval"] for r in rows[:9])
+    post = rows[-1]["policy-retrieval"]
+    print(paper_row("policy-error % rises after Porkbun", "yes",
+                    f"{round(pre, 1)} -> {round(post, 1)}"))
+    assert post > pre + 3
+
+    # Delivery failures: a few percent of misconfigured domains.
+    summary = campaign.latest_summary()
+    failure_share = (100.0 * summary.delivery_failures
+                     / max(1, summary.misconfigured))
+    print(paper_row("delivery-failure share of misconfigured (%)", 3.2,
+                    round(failure_share, 1)))
+    assert 0.5 <= failure_share <= 12

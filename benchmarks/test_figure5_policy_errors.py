@@ -1,0 +1,59 @@
+"""Figure 5: policy-server errors by failure stage and managing entity.
+
+Paper: at the final snapshot 9,588 (37.8%) self-managed vs 1,393
+(4.9%) third-party policy servers are misconfigured; TLS is the
+dominant stage everywhere (abstract: 35% of self-managed and 3.9% of
+third-party policy servers fail the TLS handshake); DNS errors are
+rare for self-managed and absent for third-party; a June 8, 2024
+spike (1,385 domains, one provider issuing self-signed certificates)
+hits the third-party series; Porkbun drives the late self-managed
+spike.
+"""
+
+from repro.analysis.report import render_table
+from benchmarks.conftest import paper_row
+
+STAGES = ["dns", "tcp", "tls", "http", "policy-syntax"]
+
+
+def test_figure5(benchmark, campaign):
+    self_rows = benchmark(campaign.figure5_series, "self-managed")
+    third_rows = campaign.figure5_series("third-party")
+    print()
+    print(render_table(self_rows, ["month_index", "total"] + STAGES + ["any"],
+                       title="Figure 5 (top) — self-managed policy-server "
+                             "errors (%)"))
+    print(render_table(third_rows, ["month_index", "total"] + STAGES + ["any"],
+                       title="Figure 5 (bottom) — third-party policy-server "
+                             "errors (%)"))
+
+    final_self, final_third = self_rows[-1], third_rows[-1]
+    print(paper_row("self-managed errors, final (%)", 37.8,
+                    round(final_self["any"], 1)))
+    print(paper_row("third-party errors, final (%)", 4.9,
+                    round(final_third["any"], 1)))
+    print(paper_row("self-managed TLS failures, final (%)", 35.0,
+                    round(final_self["tls"], 1)))
+    print(paper_row("third-party TLS failures, final (%)", 3.9,
+                    round(final_third["tls"], 1)))
+
+    assert 20 <= final_self["any"] <= 50
+    assert 2 <= final_third["any"] <= 9
+    # Self-managed is worse in every month; by a wide factor at the end.
+    for s, t in zip(self_rows, third_rows):
+        assert s["any"] > t["any"]
+    assert final_self["any"] > 4 * final_third["any"]
+
+    # TLS dominates both series at the final snapshot.
+    assert final_self["tls"] == max(final_self[stage] for stage in STAGES)
+    assert final_third["tls"] == max(final_third[stage] for stage in STAGES)
+
+    # DNS errors: rare (self) to none (third).
+    assert final_self["dns"] < 1.0
+    assert final_third["dns"] == 0.0
+
+    # The June third-party spike is transient.
+    june = next(r for r in third_rows if r["month_index"] == 7)
+    assert june["tls"] > final_third["tls"]
+    print(paper_row("June-2024 third-party TLS spike (%)", "~9",
+                    round(june["tls"], 1)))

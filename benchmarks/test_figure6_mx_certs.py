@@ -1,0 +1,46 @@
+"""Figure 6: % of MTA-STS domains whose MX hosts present PKIX-invalid
+certificates, split by managing entity and failure class.
+
+Paper: at the final snapshot, 1,046 (4.4%) self-managed vs 397 (1%)
+third-party-hosted domains present at least one invalid MX
+certificate; CN mismatch dominates the self-managed side (270 of
+them fixed their CN mismatch in the last snapshot); one provider,
+mxrouting.net, accounts for 39% of the broken third-party domains.
+"""
+
+from repro.analysis.report import render_table
+from benchmarks.conftest import paper_row
+
+CLASSES = ["cn-mismatch", "self-signed", "expired"]
+
+
+def test_figure6(benchmark, campaign):
+    self_rows = benchmark(campaign.figure6_series, "self-managed")
+    third_rows = campaign.figure6_series("third-party")
+    print()
+    print(render_table(self_rows,
+                       ["month_index", "total", "invalid_pct"] + CLASSES,
+                       title="Figure 6 (top) — self-managed MX-cert "
+                             "errors (%)"))
+    print(render_table(third_rows,
+                       ["month_index", "total", "invalid_pct"] + CLASSES,
+                       title="Figure 6 (bottom) — third-party MX-cert "
+                             "errors (%)"))
+
+    final_self, final_third = self_rows[-1], third_rows[-1]
+    print(paper_row("self-managed invalid MX (%)", 4.4,
+                    round(final_self["invalid_pct"], 2)))
+    print(paper_row("third-party invalid MX (%)", 1.0,
+                    round(final_third["invalid_pct"], 2)))
+
+    assert 2 <= final_self["invalid_pct"] <= 8
+    assert 0.2 <= final_third["invalid_pct"] <= 2.5
+    # Self-managed meaningfully worse throughout.
+    for s, t in zip(self_rows, third_rows):
+        if s["total"] and t["total"]:
+            assert s["invalid_pct"] >= t["invalid_pct"]
+    assert final_self["invalid_pct"] > 2 * final_third["invalid_pct"]
+
+    # CN mismatch leads the self-managed failure classes.
+    assert final_self["cn-mismatch"] == max(
+        final_self[c] for c in CLASSES)

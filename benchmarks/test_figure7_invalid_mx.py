@@ -1,0 +1,33 @@
+"""Figure 7: % of MTA-STS domains with all-invalid vs partially-invalid
+MX hosts, and the enforce-mode at-risk population.
+
+Paper: at the final snapshot, 1,326 (1.9%) domains present no valid
+TLS certificate on any MX; all-invalid dominates partially-invalid
+(self-managed domains rarely run redundant MX farms); 269 domains in
+enforce mode with every matching MX invalid are subject to delivery
+failure from compliant senders.
+"""
+
+from repro.analysis.report import render_table
+from benchmarks.conftest import paper_row
+
+
+def test_figure7(benchmark, campaign):
+    rows = benchmark(campaign.figure7_series)
+    print()
+    print(render_table(rows, ["month_index", "all_invalid",
+                              "all_invalid_pct", "partially_invalid",
+                              "partially_invalid_pct", "enforce_invalid",
+                              "enforce_invalid_pct"],
+                       title="Figure 7 — all vs partially invalid MX (%)"))
+    final = rows[-1]
+    print(paper_row("all-invalid (%)", 1.9, round(final["all_invalid_pct"], 2)))
+    print(paper_row("enforce-mode at risk (count, paper 269 -> scaled)",
+                    round(269 * 0.02), final["enforce_invalid"]))
+
+    assert 0.8 <= final["all_invalid_pct"] <= 4
+    # All-invalid dominates partial in every month, as in the figure.
+    for row in rows:
+        assert row["all_invalid"] >= row["partially_invalid"]
+    # The enforce-mode at-risk class exists and is a strict subset.
+    assert 0 < final["enforce_invalid"] <= final["all_invalid"]

@@ -1,0 +1,52 @@
+"""Figure 8: mx-pattern / MX-record mismatches by class over time.
+
+Paper: at the final snapshot — 1,023 complete-domain mismatches, 730
+3LD+ mismatches (597 carrying the mta-sts label, an RFC
+misunderstanding), 63 typos (edit distance <= 3), plus TLD swaps; 406
+domains in enforce mode are subject to delivery failure; the
+lucidgrow/DMARCReport incident (246 domains, enforce mode) spikes the
+3LD+ class on Jan 23, 2024.
+"""
+
+from repro.analysis.report import render_table
+from repro.ecosystem.population import LUCIDGROW_MONTH
+from benchmarks.conftest import SCALE, paper_row
+
+CLASSES = ["complete-domain-mismatch", "3ld-plus-mismatch", "typo",
+           "tld-mismatch"]
+
+
+def test_figure8(benchmark, campaign):
+    rows = benchmark(campaign.figure8_series)
+    print()
+    print(render_table(rows, ["month_index"] + CLASSES + ["enforce"],
+                       title="Figure 8 — mismatch classes (counts, "
+                             f"scale={SCALE})"))
+
+    final = rows[-1]
+    print(paper_row("complete-domain (count)", round(1023 * SCALE),
+                    final["complete-domain-mismatch"]))
+    print(paper_row("3LD+ (count)", round(730 * SCALE),
+                    final["3ld-plus-mismatch"]))
+    print(paper_row("typos (count)", round(63 * SCALE), final["typo"]))
+    print(paper_row("enforce-mode mismatched (count)", round(406 * SCALE),
+                    final["enforce"]))
+
+    # Ordering at the end: complete-domain > 3LD+ > typos.
+    assert final["complete-domain-mismatch"] >= final["3ld-plus-mismatch"]
+    assert final["3ld-plus-mismatch"] > final["typo"]
+    assert final["typo"] >= 1
+
+    # The lucidgrow spike: 3LD+ jumps by about the cohort size in
+    # January and recedes the next month.
+    by_month = {r["month_index"]: r["3ld-plus-mismatch"] for r in rows}
+    cohort = round(246 * SCALE)
+    jump = by_month[LUCIDGROW_MONTH] - by_month[LUCIDGROW_MONTH - 1]
+    drop = by_month[LUCIDGROW_MONTH] - by_month[LUCIDGROW_MONTH + 1]
+    print(paper_row("Jan-2024 3LD+ spike (cohort)", cohort, jump))
+    assert jump >= cohort - 1
+    assert drop >= cohort - 2
+
+    # Enforce-mode exposure present in every month.
+    assert all(r["enforce"] >= 0 for r in rows)
+    assert final["enforce"] > 0

@@ -1,0 +1,58 @@
+"""§7.2: every reported survey statistic, recomputed from the answer
+sheets.
+
+Paper values asserted exactly — the synthesizer reproduces the
+released answer marginals, and the analysis code recomputes them.
+"""
+
+from repro.survey.analysis import analyze
+from repro.survey.synthesize import synthesize_respondents
+from benchmarks.conftest import paper_row
+
+
+def test_section7(benchmark, survey_findings):
+    findings = benchmark(lambda: analyze(synthesize_respondents()))
+    print()
+    checks = [
+        ("heard of MTA-STS", findings.heard_of_mta_sts, (89, 94, 94.7)),
+        ("deployed MTA-STS", findings.deployed, (50, 88, 56.8)),
+        ("motivation: prevent downgrade", findings.motivation_downgrade,
+         (34, 42, 81.0)),
+        ("requirement: customer demand", findings.customer_demand,
+         (13, 41, 31.7)),
+        ("requirement: regulation", findings.regulation, (14, 41, 34.1)),
+        ("bottleneck: operational complexity",
+         findings.bottleneck_complexity, (21, 43, 48.8)),
+        ("bottleneck: DANE more secure",
+         findings.bottleneck_dane_secure, (17, 43, 39.5)),
+        ("bottleneck: no need", findings.bottleneck_no_need, (5, 43, 11.6)),
+        ("not deployed: use DANE", findings.not_deployed_use_dane,
+         (15, 33, 45.5)),
+        ("not deployed: too complicated",
+         findings.not_deployed_too_complicated, (9, 33, 27.3)),
+        ("management: HTTPS policy file hard",
+         findings.mgmt_https_hard, (8, 41, 19.5)),
+        ("management: policy updates hard",
+         findings.mgmt_updates_hard, (11, 41, 26.8)),
+        ("updates: never updated", findings.update_never, (15, 42, 35.7)),
+        ("updates: TXT record first", findings.update_txt_first,
+         (10, 42, 23.8)),
+        ("heard of DANE", findings.heard_dane, (78, 79, 98.7)),
+        ("no TLSA served", findings.dane_no_tlsa, (26, 78, 33.3)),
+        ("DANE is superior", findings.dane_superior, (51, 70, 72.9)),
+    ]
+    for label, measured, (count, denom, pct) in checks:
+        print(paper_row(label, f"{count}/{denom} ({pct}%)",
+                        f"{measured[0]}/{measured[1]} "
+                        f"({round(measured[2], 1)}%)"))
+        assert measured[0] == count, label
+        assert measured[1] == denom, label
+        assert round(measured[2], 1) == pct, label
+
+    print(paper_row("trust web PKI more than DANE", 9,
+                    findings.trust_web_pki))
+    assert findings.trust_web_pki == 9
+    assert findings.favored_over_dane == 10
+    assert findings.reputation_large_providers == 5
+    assert findings.dane_no_dnssec == 10
+    assert findings.engaged == 117

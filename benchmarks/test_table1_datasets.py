@@ -1,0 +1,38 @@
+"""Table 1: datasets overview — domains with MX records and the share
+carrying MTA-STS records per TLD, at the final snapshot (2024-09-29).
+
+Paper values: .com 73,939,004 MX domains / 53,800 (0.07%) MTA-STS;
+.net 6,248,969 / 6,183 (0.09%); .org 5,781,423 / 7,355 (0.13%);
+.se 822,449 / 692 (0.08%).
+"""
+
+from repro.analysis.report import render_table
+from benchmarks.conftest import SCALE, paper_row
+
+PAPER = {
+    "com": (73_939_004, 53_800, 0.07),
+    "net": (6_248_969, 6_183, 0.09),
+    "org": (5_781_423, 7_355, 0.13),
+    "se": (822_449, 692, 0.08),
+}
+
+
+def test_table1(benchmark, timeline):
+    rows = benchmark(timeline.table1_rows)
+    print()
+    print(render_table(rows, ["tld", "mx_domains", "sts_domains",
+                              "sts_percent"],
+                       title=f"Table 1 (scale={SCALE})"))
+    by_tld = {r["tld"]: r for r in rows}
+    for tld, (mx, sts, pct) in PAPER.items():
+        row = by_tld[tld]
+        print(paper_row(f".{tld} MTA-STS share (%)", pct,
+                        round(row["sts_percent"], 3)))
+        # Scaled counts track the paper's counts linearly.
+        assert abs(row["mx_domains"] - mx * SCALE) / (mx * SCALE) < 0.01
+        assert abs(row["sts_domains"] - sts * SCALE) / (sts * SCALE) < 0.25
+        # Percentages are scale-free: within 2x of the paper's.
+        assert 0.4 * pct < row["sts_percent"] < 2.2 * pct
+    # Ordering: .org has the highest share, as in the paper.
+    assert by_tld["org"]["sts_percent"] == max(
+        r["sts_percent"] for r in rows)

@@ -1,0 +1,65 @@
+"""Policy delegation and provider opt-out behaviour (paper §5, Table 2).
+
+Onboards a customer with each of the paper's eight policy hosting
+providers, opts them all out, and probes what a sender now experiences
+— reproducing the paper's finding that none of the providers follow
+the RFC 8461 deprovisioning best practice.
+
+Run:  python examples/delegation_providers.py
+"""
+
+from repro.analysis.report import render_table
+from repro.core.fetch import PolicyFetcher
+from repro.core.policy import Policy, PolicyMode
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.ecosystem.providers import table2_providers
+from repro.ecosystem.world import World
+from repro.measurement.delegation import probe_opted_out
+
+
+def main() -> None:
+    world = World()
+    fetcher = PolicyFetcher(world.resolver, world.https_client)
+
+    rows = []
+    for provider in table2_providers():
+        domain = f"customer-of-{provider.name.lower()}.com"
+        deploy_domain(world, DomainSpec(
+            domain=domain, policy_provider=provider,
+            policy=Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                          max_age=86400, mx_patterns=(f"mail.{domain}",))))
+
+        active = fetcher.fetch_policy(domain)
+        assert active.fully_valid, f"{provider.name} onboarding failed"
+
+        provider.customer_opts_out(world, domain)
+        world.resolver.flush_cache()
+        observation = probe_opted_out(world, provider, domain)
+        rows.append({
+            "provider": provider.name,
+            "cname": provider.canonical_host_for(domain),
+            "optout": provider.opt_out.value,
+            "resolves": observation.policy_resolves,
+            "cert_ok": observation.cert_valid,
+            "effective_mode": observation.effective_mode,
+        })
+
+    print(render_table(rows, ["provider", "optout", "resolves", "cert_ok",
+                              "effective_mode"],
+                       title="Opted-out customers, as a sender sees them "
+                             "(Table 2)"))
+    print("CNAME patterns:")
+    for row in rows:
+        print(f"  {row['provider']:<14} {row['cname']}")
+
+    hazardous = [r for r in rows if r["effective_mode"] == "enforce"]
+    print()
+    print(f"{len(hazardous)} provider(s) leave a stale ENFORCE policy "
+          f"serving after opt-out — the delivery-failure hazard the "
+          f"paper highlights:")
+    for row in hazardous:
+        print(f"  - {row['provider']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Security demonstration: the attacks MTA-STS exists to stop (§1).
+
+Installs an on-path STARTTLS-stripping attacker and a DNS/MX spoofer
+in front of a victim domain, then shows the outcome for each sender
+class — including the trust-on-first-use weakness the paper notes in
+footnote 2 (a first-contact sender whose policy fetch is also blocked
+gets downgraded despite the victim "having" MTA-STS).
+
+Run:  python examples/downgrade_attack.py
+"""
+
+from repro.attacks import DnsSpoofer, PolicyHostBlocker, StarttlsStripper
+from repro.core.fetch import PolicyFetcher
+from repro.core.policy import Policy, PolicyMode
+from repro.core.sender import MtaStsSender
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.ecosystem.world import World
+from repro.smtp.delivery import Message, SendingMta
+
+
+def build_world():
+    world = World()
+    victim = deploy_domain(world, DomainSpec(
+        domain="victim.com",
+        policy=Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                      max_age=7 * 86400,
+                      mx_patterns=("mail.victim.com",))))
+    fetcher = PolicyFetcher(world.resolver, world.https_client)
+    return world, victim, fetcher
+
+
+def outcome(attempt, attacker=None):
+    status = attempt.status.value
+    if attacker is not None and attacker.plaintext_captured:
+        status += "  <- INTERCEPTED IN PLAINTEXT"
+    return status
+
+
+def scenario_stripping():
+    print("== STARTTLS stripping ==")
+    world, victim, fetcher = build_world()
+    attacker = StarttlsStripper(world.network)
+    attacker.attack(victim.mx_hosts[0])
+
+    naive = SendingMta("naive.net", world.network, world.resolver,
+                       world.trust_store, world.clock)
+    print("  opportunistic sender  :",
+          outcome(naive.send(Message("a@naive.net", "b@victim.com")),
+                  attacker))
+
+    attacker.intercepted_messages.clear()
+    sts = MtaStsSender("secure.net", world.network, world.resolver,
+                       world.trust_store, world.clock, fetcher)
+    print("  MTA-STS sender        :",
+          outcome(sts.send(Message("a@secure.net", "b@victim.com")),
+                  attacker))
+    print()
+
+
+def scenario_first_contact():
+    print("== first contact under full attack (footnote 2's TOFU gap) ==")
+    world, victim, fetcher = build_world()
+    primed = MtaStsSender("veteran.net", world.network, world.resolver,
+                          world.trust_store, world.clock, fetcher)
+    primed.send(Message("a@veteran.net", "b@victim.com"))   # cache warm
+
+    stripper = StarttlsStripper(world.network)
+    stripper.attack(victim.mx_hosts[0])
+    blocker = PolicyHostBlocker(world.resolver)
+    blocker.block_policy_host("victim.com")
+    world.resolver.flush_cache()
+
+    fresh = MtaStsSender("newcomer.net", world.network, world.resolver,
+                         world.trust_store, world.clock, fetcher)
+    print("  first-contact sender  :",
+          outcome(fresh.send(Message("a@newcomer.net", "b@victim.com")),
+                  stripper))
+    stripper.intercepted_messages.clear()
+    print("  sender w/ cached policy:",
+          outcome(primed.send(Message("a@veteran.net", "b@victim.com")),
+                  stripper))
+    print()
+
+
+def scenario_mx_spoofing():
+    print("== DNS/MX spoofing ==")
+    world, victim, fetcher = build_world()
+    # The attacker's own MX with a perfectly valid certificate — for
+    # the attacker's name, which matches none of the victim's patterns.
+    from repro.dns.name import DnsName
+    from repro.dns.records import ARecord
+    from repro.dns.zone import Zone
+    from repro.smtp.server import MxHost
+    from repro.tls.handshake import TlsEndpoint
+    ip = world.fresh_ip("mx")
+    tls = TlsEndpoint()
+    tls.install("mx.evil.net", world.issue_cert(["mx.evil.net"]),
+                default=True)
+    evil = MxHost("mx.evil.net", ip, world.network, tls=tls)
+    zone = Zone(apex=DnsName.parse("evil.net"))
+    zone.add(ARecord(DnsName.parse("mx.evil.net"), 60, ip))
+    world.host_zone(zone)
+
+    spoofer = DnsSpoofer(world.resolver)
+    spoofer.spoof_mx("victim.com", "mx.evil.net")
+
+    naive = SendingMta("naive.net", world.network, world.resolver,
+                       world.trust_store, world.clock)
+    attempt = naive.send(Message("a@naive.net", "b@victim.com"))
+    print(f"  opportunistic sender  : {attempt.status.value}"
+          + ("  <- DELIVERED TO THE ATTACKER" if evil.mailbox else ""))
+
+    sts = MtaStsSender("secure.net", world.network, world.resolver,
+                       world.trust_store, world.clock, fetcher)
+    attempt = sts.send(Message("a@secure.net", "b@victim.com"))
+    print(f"  MTA-STS sender        : {attempt.status.value}"
+          + ("  (attacker mailbox stayed empty)"
+             if len(evil.mailbox) == 1 else ""))
+
+
+if __name__ == "__main__":
+    scenario_stripping()
+    scenario_first_contact()
+    scenario_mx_spoofing()

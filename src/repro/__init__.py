@@ -1,0 +1,17 @@
+"""repro — reproduction of "Unraveling the Complexities of MTA-STS
+Deployment and Management in Securing Email" (IMC 2025).
+
+The package splits into:
+
+* :mod:`repro.core` — MTA-STS itself (RFC 8461): records, policies,
+  validation, the sender-side cache, DANE and TLSRPT companions;
+* substrates — :mod:`repro.netsim`, :mod:`repro.dns`, :mod:`repro.pki`,
+  :mod:`repro.tls`, :mod:`repro.web`, :mod:`repro.smtp`;
+* :mod:`repro.ecosystem` — the synthetic longitudinal domain population
+  standing in for the paper's zone-file scans;
+* :mod:`repro.measurement` — the scanning/classification pipeline that
+  regenerates every table and figure;
+* :mod:`repro.survey` — the operator survey (Appendix C) and analysis.
+"""
+
+__version__ = "1.0.0"

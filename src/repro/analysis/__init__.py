@@ -1,0 +1,9 @@
+"""Figure/table series assembly and report rendering."""
+
+from repro.analysis.series import CampaignAnalysis, run_campaign
+from repro.analysis.report import render_table, render_series, format_percent
+from repro.analysis.takeaways import Takeaway, compute_takeaways
+
+__all__ = ["CampaignAnalysis", "run_campaign",
+           "render_table", "render_series", "format_percent",
+           "Takeaway", "compute_takeaways"]

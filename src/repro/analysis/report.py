@@ -1,0 +1,54 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the same rows the paper's tables and
+figures report; these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}%"
+
+
+def render_table(rows: Sequence[Mapping], columns: Sequence[str],
+                 *, title: str = "") -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    widths = {col: len(col) for col in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:.2f}"
+            else:
+                text = str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered_rows.append(cells)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[col])
+                               for cell, col in zip(cells, columns)))
+    return "\n".join(lines) + "\n"
+
+
+def render_series(points: Iterable[tuple], *, title: str = "",
+                  label_width: int = 12, bar_scale: float = 1.0) -> str:
+    """Render (label, value) points as a text sparkline table."""
+    lines = [title] if title else []
+    for label, value in points:
+        bar = "#" * max(0, round(value * bar_scale))
+        lines.append(f"{str(label):<{label_width}} {value:8.3f}  {bar}")
+    return "\n".join(lines) + "\n"

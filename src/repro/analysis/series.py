@@ -1,0 +1,184 @@
+"""Campaign orchestration: run every monthly scan and assemble the
+time series behind Figures 4-10.
+
+:func:`run_campaign` is the expensive step (it materialises a world
+per scan month and runs the full scanner); :class:`CampaignAnalysis`
+then answers every figure's question from the stored snapshots, so
+benchmarks share one campaign run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ecosystem.timeline import EcosystemTimeline, MaterializedSnapshot
+from repro.errors import ManagingEntity, MisconfigCategory
+from repro.measurement.classify import EntityClassifier, EntityVerdict
+from repro.measurement.delegation import delegation_census
+from repro.measurement.historical import historical_series
+from repro.measurement.inconsistency import classify_snapshot, mismatch_census
+from repro.measurement.scanner import Scanner
+from repro.measurement.snapshots import SnapshotStore
+from repro.measurement.taxonomy import SnapshotSummary, snapshot_summary
+
+
+@dataclass
+class CampaignAnalysis:
+    """Everything one full scan campaign produced."""
+
+    timeline: EcosystemTimeline
+    store: SnapshotStore
+    verdicts_by_month: Dict[int, Dict[str, EntityVerdict]] = field(
+        default_factory=dict)
+    summaries: Dict[int, SnapshotSummary] = field(default_factory=dict)
+
+    # -- Figure 4 ---------------------------------------------------------
+
+    def figure4_series(self) -> List[dict]:
+        rows = []
+        for month in self.store.months():
+            summary = self.summaries[month]
+            rows.append({
+                "month_index": month,
+                "date": self.timeline.scan_instants[month].date_string(),
+                "total_sts": summary.total_sts,
+                "misconfigured": summary.misconfigured,
+                "misconfigured_pct": summary.misconfigured_percent(),
+                **{category.value: summary.category_percent(category)
+                   for category in MisconfigCategory},
+            })
+        return rows
+
+    # -- Figure 5 -------------------------------------------------------------
+
+    def figure5_series(self, entity: str) -> List[dict]:
+        """Per-month policy-server error percentages for one entity
+        ('self-managed' or 'third-party'), split by failure stage."""
+        rows = []
+        for month in self.store.months():
+            summary = self.summaries[month]
+            total = summary.policy_entity_totals[entity]
+            errors = summary.policy_errors_by_entity[entity]
+            row = {"month_index": month, "total": total}
+            for stage in ("dns", "tcp", "tls", "http", "policy-syntax"):
+                row[stage] = 100.0 * errors[stage] / total if total else 0.0
+            row["any"] = (100.0 * sum(errors.values()) / total
+                          if total else 0.0)
+            rows.append(row)
+        return rows
+
+    # -- Figure 6 / 7 -----------------------------------------------------------
+
+    def figure6_series(self, entity: str) -> List[dict]:
+        rows = []
+        for month in self.store.months():
+            summary = self.summaries[month]
+            total = summary.mx_entity_totals[entity]
+            classes = summary.mx_cert_by_entity[entity]
+            row = {"month_index": month, "total": total,
+                   "invalid": summary.mx_invalid_by_entity[entity],
+                   "invalid_pct": (100.0 * summary.mx_invalid_by_entity[entity]
+                                   / total if total else 0.0)}
+            for failure_class in ("cn-mismatch", "self-signed", "expired"):
+                row[failure_class] = (100.0 * classes[failure_class] / total
+                                      if total else 0.0)
+            rows.append(row)
+        return rows
+
+    def figure7_series(self) -> List[dict]:
+        rows = []
+        for month in self.store.months():
+            summary = self.summaries[month]
+            total = summary.total_sts or 1
+            rows.append({
+                "month_index": month,
+                "all_invalid": summary.all_invalid_mx,
+                "all_invalid_pct": 100.0 * summary.all_invalid_mx / total,
+                "partially_invalid": summary.partially_invalid_mx,
+                "partially_invalid_pct":
+                    100.0 * summary.partially_invalid_mx / total,
+                "enforce_invalid": summary.enforce_invalid_mx,
+                "enforce_invalid_pct":
+                    100.0 * summary.enforce_invalid_mx / total,
+            })
+        return rows
+
+    # -- Figure 8 / 9 -------------------------------------------------------------
+
+    def figure8_series(self) -> List[dict]:
+        rows = []
+        for month in self.store.months():
+            census = mismatch_census(self.store.month(month))
+            total = census["total_sts"] or 1
+            row = {"month_index": month,
+                   "enforce": census["enforce"],
+                   "enforce_pct": 100.0 * census["enforce"] / total}
+            for cls, count in census["counts"].items():
+                row[cls.value] = count
+                row[cls.value + "_pct"] = 100.0 * count / total
+            rows.append(row)
+        return rows
+
+    def figure9_series(self) -> List[dict]:
+        return historical_series(self.store)
+
+    # -- Figure 10 ----------------------------------------------------------------
+
+    def figure10_series(self) -> List[dict]:
+        rows = []
+        for month in self.store.months():
+            verdicts = self.verdicts_by_month[month]
+            snaps = {s.domain: s for s in self.store.month(month)}
+            same_total = same_bad = diff_total = diff_bad = 0
+            for domain, verdict in verdicts.items():
+                if not verdict.both_outsourced:
+                    continue
+                snap = snaps.get(domain)
+                if snap is None:
+                    continue
+                inconsistent = classify_snapshot(snap).mismatch
+                if verdict.same_provider:
+                    same_total += 1
+                    same_bad += inconsistent
+                else:
+                    diff_total += 1
+                    diff_bad += inconsistent
+            rows.append({
+                "month_index": month,
+                "same_total": same_total, "same_bad": same_bad,
+                "same_pct": 100.0 * same_bad / same_total if same_total else 0.0,
+                "diff_total": diff_total, "diff_bad": diff_bad,
+                "diff_pct": 100.0 * diff_bad / diff_total if diff_total else 0.0,
+            })
+        return rows
+
+    # -- Table 2 ------------------------------------------------------------------
+
+    def table2_census(self, month: Optional[int] = None,
+                      top: int = 8) -> List[dict]:
+        month = month if month is not None else self.store.latest_month()
+        return delegation_census(self.store.month(month), top=top)
+
+    # -- headline numbers --------------------------------------------------------
+
+    def latest_summary(self) -> SnapshotSummary:
+        return self.summaries[self.store.latest_month()]
+
+
+def run_campaign(timeline: EcosystemTimeline,
+                 months: Optional[List[int]] = None) -> CampaignAnalysis:
+    """Materialise and scan every requested month (default: all)."""
+    if months is None:
+        months = list(range(len(timeline.scan_instants)))
+    store = SnapshotStore()
+    analysis = CampaignAnalysis(timeline=timeline, store=store)
+    for month in months:
+        materialized = timeline.materialize(month)
+        scanner = Scanner(materialized.world)
+        scanner.scan_all(materialized.deployed.keys(), month, store)
+        month_snaps = store.month(month)
+        verdicts = EntityClassifier(month_snaps).classify_all()
+        analysis.verdicts_by_month[month] = verdicts
+        analysis.summaries[month] = snapshot_summary(month_snaps, verdicts)
+    return analysis

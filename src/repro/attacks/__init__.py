@@ -1,0 +1,7 @@
+"""Active-attacker simulations: the threats MTA-STS exists to stop."""
+
+from repro.attacks.mitm import (
+    StarttlsStripper, DnsSpoofer, PolicyHostBlocker,
+)
+
+__all__ = ["StarttlsStripper", "DnsSpoofer", "PolicyHostBlocker"]

@@ -1,0 +1,173 @@
+"""Man-in-the-middle attacks against SMTP transport security.
+
+The paper's introduction motivates MTA-STS with two attacks:
+
+* **STARTTLS stripping** — an on-path attacker removes the STARTTLS
+  capability from the EHLO response, downgrading opportunistic senders
+  to plaintext (§1, [9, 19, 32]);
+* **DNS/MX spoofing** — without DNSSEC, an attacker answers the MX (or
+  policy-host A) lookup with their own server.
+
+Each attacker here is *installed into* the simulated network and then
+defeated — or not — by the sending-side configuration.  The
+reproduction demonstrates the full security matrix the paper implies:
+
+====================  ============  =====================
+sender                stripping     first-contact TOFU
+====================  ============  =====================
+opportunistic         downgraded    n/a
+MTA-STS, cached       refuses       —
+MTA-STS, no cache     refuses*      policy fetch blocked
+                                    ⇒ downgraded (fn. 2)
+DANE (secure chain)   refuses       safe (no TOFU)
+====================  ============  =====================
+
+(*) the DNS record alone reveals MTA-STS support; only when the
+attacker also blocks the policy host AND the sender has no cached
+policy does the trust-on-first-use weakness bite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dns.name import DnsName
+from repro.errors import NxDomain
+from repro.netsim.ip import IpAddress
+from repro.netsim.network import Network
+from repro.smtp.server import SMTP_PORT, EhloResponse, MxHost
+
+
+class _StrippedMx:
+    """A transparent proxy over an MxHost that hides STARTTLS.
+
+    Everything else passes through, so mail still flows — in
+    plaintext, which is the point of the attack.
+    """
+
+    def __init__(self, victim: MxHost, attacker: "StarttlsStripper"):
+        self._victim = victim
+        self._attacker = attacker
+
+    def greet(self):
+        return self._victim.greet()
+
+    def ehlo(self, client_name: str,
+             client_ip: Optional[IpAddress] = None) -> EhloResponse:
+        response = self._victim.ehlo(client_name, client_ip)
+        stripped = tuple(ext for ext in response.extensions
+                         if ext != "STARTTLS")
+        if len(stripped) != len(response.extensions):
+            self._attacker.stripped_sessions += 1
+        return EhloResponse(response.code, response.hostname, stripped)
+
+    def helo(self, client_name: str) -> EhloResponse:
+        return self._victim.helo(client_name)
+
+    def starttls_endpoint(self):
+        # A client that issues STARTTLS anyway gets the real endpoint —
+        # the attack only removes the advertisement (the classic strip).
+        return self._victim.starttls_endpoint()
+
+    def accept_message(self, sender, recipient, body, *, over_tls):
+        if not over_tls:
+            self._attacker.intercepted_messages.append(
+                (sender, recipient, body))
+        return self._victim.accept_message(sender, recipient, body,
+                                           over_tls=over_tls)
+
+    @property
+    def hostname(self):
+        return self._victim.hostname
+
+    @property
+    def tls(self):
+        return self._victim.tls
+
+
+@dataclass
+class StarttlsStripper:
+    """Install an on-path STARTTLS-stripping attacker before one MX."""
+
+    network: Network
+    stripped_sessions: int = 0
+    intercepted_messages: List[tuple] = field(default_factory=list)
+    _installed: List[tuple] = field(default_factory=list)
+
+    def attack(self, mx: MxHost) -> None:
+        proxy = _StrippedMx(mx, self)
+        self.network.register(mx.ip, SMTP_PORT, proxy,
+                              description=f"mitm:{mx.hostname}")
+        self._installed.append((mx.ip, mx))
+
+    def withdraw(self) -> None:
+        for ip, mx in self._installed:
+            self.network.register(ip, SMTP_PORT, mx,
+                                  description=f"smtp:{mx.hostname}")
+        self._installed.clear()
+
+    @property
+    def plaintext_captured(self) -> bool:
+        return bool(self.intercepted_messages)
+
+
+class DnsSpoofer:
+    """Poisons a resolver's view of specific names.
+
+    Models an off-path cache-poisoning (or on-path rewriting) attacker:
+    queries for the poisoned names resolve to attacker-chosen answers.
+    DNSSEC-validating flows are immune — which is why the simulation
+    applies the spoof only at the (unsigned) resolver layer, matching
+    the paper's framing that DANE's protection comes from DNSSEC while
+    MTA-STS relies on the web PKI instead.
+    """
+
+    def __init__(self, resolver):
+        self._resolver = resolver
+        self._original_query = resolver._query_one
+        self._mx_spoofs: dict = {}
+        self.spoofed_lookups = 0
+        resolver._query_one = self._spoofing_query   # type: ignore
+
+    def spoof_mx(self, domain: str, attacker_mx: str) -> None:
+        """All MX lookups for *domain* now name the attacker's host."""
+        self._mx_spoofs[domain.lower().rstrip(".")] = attacker_mx
+
+    def _spoofing_query(self, name: DnsName, rrtype):
+        from repro.dns.records import MxRecord, RRType
+        if rrtype is RRType.MX and name.text in self._mx_spoofs:
+            self.spoofed_lookups += 1
+            fake = MxRecord(name, 60, 0,
+                            DnsName.parse(self._mx_spoofs[name.text]))
+            return [fake], None
+        return self._original_query(name, rrtype)
+
+    def withdraw(self) -> None:
+        self._resolver._query_one = self._original_query
+
+
+class PolicyHostBlocker:
+    """Blocks resolution of ``mta-sts.<domain>`` — the second half of a
+    first-contact attack: with the policy unfetchable and nothing
+    cached, an MTA-STS sender degrades to opportunistic TLS (the TOFU
+    weakness of footnote 2)."""
+
+    def __init__(self, resolver):
+        self._resolver = resolver
+        self._original_query = resolver._query_one
+        self._blocked: set = set()
+        self.blocked_lookups = 0
+        resolver._query_one = self._blocking_query   # type: ignore
+
+    def block_policy_host(self, domain: str) -> None:
+        self._blocked.add(f"mta-sts.{domain.lower().rstrip('.')}")
+
+    def _blocking_query(self, name: DnsName, rrtype):
+        if name.text in self._blocked:
+            self.blocked_lookups += 1
+            raise NxDomain(f"{name} (spoofed NXDOMAIN)")
+        return self._original_query(name, rrtype)
+
+    def withdraw(self) -> None:
+        self._resolver._query_one = self._original_query

@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>``:
+
+* ``lint-record "<txt>"``       — validate an ``_mta-sts`` TXT string;
+* ``lint-policy <file|->``      — validate a policy file;
+* ``check-zone <zonefile> <domain> [--policy FILE]`` — offline
+  assessment of a domain's MTA-STS posture from its zone file;
+* ``plan-removal <max_age_seconds>`` — print the RFC 8461 §2.6 removal
+  sequence for a policy with the given max_age;
+* ``audit [--scale S]``         — run the synthetic-ecosystem scan for
+  the final snapshot and print the misconfiguration census;
+* ``survey``                    — print the §7.2 survey statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.policy import check_policy_text
+from repro.core.record import parse_sts_record
+from repro.errors import RecordError
+
+
+def _cmd_lint_record(args) -> int:
+    try:
+        record = parse_sts_record(args.record)
+    except RecordError as exc:
+        print(f"INVALID ({exc.kind.value}): {exc}")
+        return 1
+    print(f"OK: version={record.version} id={record.id}"
+          + (f" extensions={dict(record.extensions)}"
+             if record.extensions else ""))
+    return 0
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_lint_policy(args) -> int:
+    check = check_policy_text(_read_text(args.file))
+    if check.valid:
+        policy = check.policy
+        print(f"OK: mode={policy.mode.value} max_age={policy.max_age} "
+              f"mx={list(policy.mx_patterns)}")
+        return 0
+    for kind, detail in zip(check.errors, check.details):
+        print(f"INVALID ({kind.value}): {detail}")
+    return 1
+
+
+def _cmd_check_zone(args) -> int:
+    from repro.measurement.offline import assess_zone
+
+    policy_text = _read_text(args.policy) if args.policy else None
+    assessment = assess_zone(_read_text(args.zonefile), args.domain,
+                             policy_text, origin=args.origin)
+    for finding in assessment.findings:
+        print(finding.render())
+    if assessment.ok:
+        print(f"{args.domain}: no errors found")
+        return 0
+    print(f"{args.domain}: {len(assessment.errors)} error(s)")
+    return 1
+
+
+def _cmd_plan_removal(args) -> int:
+    from repro.core.lifecycle import plan_removal
+    from repro.core.policy import Policy, PolicyMode
+
+    previous = Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                      max_age=args.max_age, mx_patterns=("mx.example",))
+    plan = plan_removal(args.domain, previous)
+    print(f"RFC 8461 removal sequence for {args.domain} "
+          f"(previous max_age={args.max_age}s):")
+    for i, step in enumerate(plan.steps, start=1):
+        extra = ""
+        if step.wait is not None:
+            extra = f" ({step.wait.seconds}s)"
+        print(f"  {i}. {step.kind.value}{extra} — {step.note}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.ecosystem.population import PopulationConfig
+    from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+    from repro.measurement.classify import EntityClassifier
+    from repro.measurement.scanner import Scanner
+    from repro.measurement.taxonomy import snapshot_summary
+
+    timeline = EcosystemTimeline(
+        TimelineConfig(PopulationConfig(scale=args.scale, seed=args.seed)))
+    month = (args.month if args.month is not None
+             else len(timeline.scan_instants) - 1)
+    materialized = timeline.materialize(month)
+    scanner = Scanner(materialized.world)
+    store = scanner.scan_all(materialized.deployed.keys(), month)
+    snapshots = store.month(month)
+    summary = snapshot_summary(
+        snapshots, EntityClassifier(snapshots).classify_all())
+    print(f"snapshot {materialized.instant.date_string()} "
+          f"(scale={args.scale})")
+    print(f"  MTA-STS domains      : {summary.total_sts}")
+    print(f"  misconfigured        : {summary.misconfigured} "
+          f"({summary.misconfigured_percent():.1f}%)")
+    print(f"  delivery failures    : {summary.delivery_failures}")
+    for category, count in summary.category_counts.most_common():
+        print(f"  {category:<21}: {count}")
+
+    if args.show_repairs:
+        from repro.measurement.repair import plan_repairs
+        from repro.measurement.taxonomy import categorize
+        shown = 0
+        for snapshot in snapshots:
+            if shown >= args.show_repairs:
+                break
+            actions = plan_repairs(snapshot)
+            if not actions or not categorize(snapshot):
+                continue
+            shown += 1
+            print(f"\n  repair plan for {snapshot.domain}:")
+            for action in actions:
+                print(f"    {action.render()}")
+    return 0
+
+
+def _cmd_survey(args) -> int:
+    from repro.survey.analysis import analyze
+    from repro.survey.synthesize import synthesize_respondents
+
+    findings = analyze(synthesize_respondents())
+    rows = [
+        ("heard of MTA-STS", findings.heard_of_mta_sts),
+        ("deployed MTA-STS", findings.deployed),
+        ("motivation: prevent downgrade", findings.motivation_downgrade),
+        ("bottleneck: operational complexity",
+         findings.bottleneck_complexity),
+        ("not deployed: use DANE instead", findings.not_deployed_use_dane),
+        ("management: policy updates hard", findings.mgmt_updates_hard),
+        ("updates: TXT record first", findings.update_txt_first),
+        ("heard of DANE", findings.heard_dane),
+        ("DANE judged superior", findings.dane_superior),
+    ]
+    print(f"survey respondents: {findings.engaged}")
+    for label, (count, denominator, percent) in rows:
+        print(f"  {label:<36} {count:>3}/{denominator:<3} "
+              f"({percent:.1f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MTA-STS deployment & management toolkit "
+                    "(IMC 2025 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_record = sub.add_parser("lint-record",
+                                 help="validate an _mta-sts TXT string")
+    lint_record.add_argument("record")
+    lint_record.set_defaults(handler=_cmd_lint_record)
+
+    lint_policy = sub.add_parser("lint-policy",
+                                 help="validate a policy file ('-' = stdin)")
+    lint_policy.add_argument("file")
+    lint_policy.set_defaults(handler=_cmd_lint_policy)
+
+    check_zone = sub.add_parser("check-zone",
+                                help="offline assessment from a zone file")
+    check_zone.add_argument("zonefile")
+    check_zone.add_argument("domain")
+    check_zone.add_argument("--policy", help="the intended policy file")
+    check_zone.add_argument("--origin", help="zone origin when the file "
+                                             "has no $ORIGIN")
+    check_zone.set_defaults(handler=_cmd_check_zone)
+
+    plan = sub.add_parser("plan-removal",
+                          help="print the RFC 8461 removal sequence")
+    plan.add_argument("domain")
+    plan.add_argument("max_age", type=int)
+    plan.set_defaults(handler=_cmd_plan_removal)
+
+    audit = sub.add_parser("audit",
+                           help="scan the synthetic ecosystem snapshot")
+    audit.add_argument("--scale", type=float, default=0.01)
+    audit.add_argument("--seed", type=int, default=20240929)
+    audit.add_argument("--month", type=int, default=None)
+    audit.add_argument("--show-repairs", type=int, default=0,
+                       metavar="N",
+                       help="print repair plans for N misconfigured "
+                            "domains")
+    audit.set_defaults(handler=_cmd_audit)
+
+    survey = sub.add_parser("survey", help="print the §7.2 statistics")
+    survey.set_defaults(handler=_cmd_survey)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""MX pattern matching (RFC 8461 §4.1).
+
+A policy's ``mx`` patterns constrain which MX hostnames a compliant
+sender may hand mail to.  Matching rules:
+
+* a plain pattern matches the identical hostname (case-insensitive,
+  ignoring any trailing root dot);
+* a ``*.`` wildcard matches exactly **one** additional leftmost label —
+  ``*.example.com`` matches ``mx1.example.com`` but neither
+  ``example.com`` itself nor ``a.b.example.com``.
+
+This is the pivot of the paper's inconsistency analysis (Figures 8-10):
+a domain whose actual MX records match none of its policy's patterns
+fails validation, and in ``enforce`` mode loses mail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.policy import Policy
+from repro.dns.name import DnsName
+
+
+def _canonical(host: str | DnsName) -> str:
+    text = host.text if isinstance(host, DnsName) else host
+    return text.strip().rstrip(".").lower()
+
+
+def mx_pattern_matches(pattern: str, mx_hostname: str | DnsName) -> bool:
+    """Whether one mx pattern covers one MX hostname."""
+    pattern = _canonical(pattern)
+    hostname = _canonical(mx_hostname)
+    if not pattern or not hostname:
+        return False
+    if pattern.startswith("*."):
+        suffix = pattern[2:]
+        if not suffix:
+            return False
+        labels = hostname.split(".")
+        return (len(labels) >= 2 and bool(labels[0])
+                and ".".join(labels[1:]) == suffix)
+    return pattern == hostname
+
+
+def policy_covers_mx(policy: Policy | Sequence[str],
+                     mx_hostname: str | DnsName) -> bool:
+    """Whether *any* pattern of the policy covers this MX hostname."""
+    patterns = (policy.mx_patterns if isinstance(policy, Policy)
+                else tuple(policy))
+    return any(mx_pattern_matches(p, mx_hostname) for p in patterns)
+
+
+def uncovered_mx_hosts(policy: Policy | Sequence[str],
+                       mx_hostnames: Iterable[str | DnsName]) -> list[str]:
+    """The MX hostnames not covered by any pattern (order preserved)."""
+    return [_canonical(h) for h in mx_hostnames
+            if not policy_covers_mx(policy, h)]
+
+
+def unused_patterns(policy: Policy | Sequence[str],
+                    mx_hostnames: Iterable[str | DnsName]) -> list[str]:
+    """Patterns that match none of the domain's actual MX hostnames.
+
+    Stale patterns left behind after a mail-server migration show up
+    here — the population Figure 9 traces back through historical
+    snapshots.
+    """
+    patterns = (policy.mx_patterns if isinstance(policy, Policy)
+                else tuple(policy))
+    hosts = [_canonical(h) for h in mx_hostnames]
+    return [p for p in patterns
+            if not any(mx_pattern_matches(p, h) for h in hosts)]

@@ -1,0 +1,333 @@
+"""SMTP TLS Reporting (RFC 8460) — the feedback loop of Appendix B.
+
+TLSRPT lets receiving domains learn why senders' TLS negotiations or
+MTA-STS/DANE validations fail.  The paper observes that while many
+domains *publish* TLSRPT records (Figure 12), only two major providers
+actually *send* reports.  This module implements the sending side in
+full so the reproduction's compliant senders can be among them:
+
+* :class:`FailureDetail` / :class:`PolicySummary` / :class:`TlsReport`
+  — the RFC 8460 report data model (JSON-renderable);
+* :class:`ReportCollector` — accumulates per-recipient-domain session
+  results inside a sending MTA over a reporting window;
+* :class:`ReportSubmitter` — delivers finished reports to the
+  ``rua`` endpoints of the recipient's TLSRPT record, via mail
+  (``mailto:``) or HTTPS POST (``https:``);
+* :class:`ReportInbox` — the receiving side, for tests and the
+  ecosystem's report-consuming domains.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import DAY, Clock, Instant
+from repro.core.tlsrpt import TlsRptRecord, lookup_tlsrpt
+from repro.dns.resolver import Resolver
+
+
+class ResultType(enum.Enum):
+    """RFC 8460 §4.3 result types (the subset MTA-STS senders emit)."""
+
+    STARTTLS_NOT_SUPPORTED = "starttls-not-supported"
+    CERTIFICATE_HOST_MISMATCH = "certificate-host-mismatch"
+    CERTIFICATE_EXPIRED = "certificate-expired"
+    CERTIFICATE_NOT_TRUSTED = "certificate-not-trusted"
+    VALIDATION_FAILURE = "validation-failure"
+    STS_POLICY_FETCH_ERROR = "sts-policy-fetch-error"
+    STS_POLICY_INVALID = "sts-policy-invalid"
+    STS_WEBPKI_INVALID = "sts-webpki-invalid"
+
+
+@dataclass
+class FailureDetail:
+    """One failure class observed against one receiving MX."""
+
+    result_type: ResultType
+    receiving_mx_hostname: str = ""
+    failed_session_count: int = 0
+    additional_info: str = ""
+
+    def to_json_dict(self) -> dict:
+        out = {"result-type": self.result_type.value,
+               "failed-session-count": self.failed_session_count}
+        if self.receiving_mx_hostname:
+            out["receiving-mx-hostname"] = self.receiving_mx_hostname
+        if self.additional_info:
+            out["additional-information"] = self.additional_info
+        return out
+
+
+@dataclass
+class PolicySummary:
+    """Per-policy result block (RFC 8460 §4.4)."""
+
+    policy_type: str                  # "sts" | "tlsa" | "no-policy-found"
+    policy_domain: str
+    policy_strings: Tuple[str, ...] = ()
+    total_successful_sessions: int = 0
+    total_failed_sessions: int = 0
+    failure_details: List[FailureDetail] = field(default_factory=list)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "policy": {
+                "policy-type": self.policy_type,
+                "policy-domain": self.policy_domain,
+                "policy-string": list(self.policy_strings),
+            },
+            "summary": {
+                "total-successful-session-count":
+                    self.total_successful_sessions,
+                "total-failure-session-count": self.total_failed_sessions,
+            },
+            "failure-details": [d.to_json_dict()
+                                for d in self.failure_details],
+        }
+
+
+@dataclass
+class TlsReport:
+    """A complete RFC 8460 report for one (sender, recipient, day)."""
+
+    organization_name: str
+    contact_info: str
+    report_id: str
+    window_start: Instant
+    window_end: Instant
+    policies: List[PolicySummary] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        body = {
+            "organization-name": self.organization_name,
+            "date-range": {
+                "start-datetime": str(self.window_start),
+                "end-datetime": str(self.window_end),
+            },
+            "contact-info": self.contact_info,
+            "report-id": self.report_id,
+            "policies": [p.to_json_dict() for p in self.policies],
+        }
+        return json.dumps(body, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TlsReport":
+        data = json.loads(text)
+        policies = []
+        for block in data.get("policies", []):
+            policy = block["policy"]
+            summary = block["summary"]
+            details = [
+                FailureDetail(
+                    result_type=ResultType(d["result-type"]),
+                    receiving_mx_hostname=d.get("receiving-mx-hostname", ""),
+                    failed_session_count=d["failed-session-count"],
+                    additional_info=d.get("additional-information", ""))
+                for d in block.get("failure-details", [])]
+            policies.append(PolicySummary(
+                policy_type=policy["policy-type"],
+                policy_domain=policy["policy-domain"],
+                policy_strings=tuple(policy.get("policy-string", ())),
+                total_successful_sessions=summary[
+                    "total-successful-session-count"],
+                total_failed_sessions=summary[
+                    "total-failure-session-count"],
+                failure_details=details))
+        return cls(
+            organization_name=data["organization-name"],
+            contact_info=data["contact-info"],
+            report_id=data["report-id"],
+            window_start=Instant.parse(
+                data["date-range"]["start-datetime"].rstrip("Z")),
+            window_end=Instant.parse(
+                data["date-range"]["end-datetime"].rstrip("Z")),
+            policies=policies)
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _DomainTally:
+    policy_type: str = "no-policy-found"
+    policy_strings: Tuple[str, ...] = ()
+    successes: int = 0
+    failures: Dict[Tuple[ResultType, str], int] = field(
+        default_factory=lambda: defaultdict(int))
+
+
+class ReportCollector:
+    """Accumulates session outcomes per recipient policy domain.
+
+    A sending MTA records one entry per delivery attempt; the collector
+    rolls a 24-hour window (RFC 8460 reports are daily) and emits
+    :class:`TlsReport` objects on :meth:`close_window`.
+    """
+
+    def __init__(self, organization: str, contact: str, clock: Clock):
+        self.organization = organization
+        self.contact = contact
+        self._clock = clock
+        self._window_start = clock.now()
+        self._tallies: Dict[str, _DomainTally] = defaultdict(_DomainTally)
+        self._report_serial = 0
+
+    def record_policy(self, domain: str, policy_type: str,
+                      policy_strings: Tuple[str, ...]) -> None:
+        tally = self._tallies[domain.lower()]
+        tally.policy_type = policy_type
+        tally.policy_strings = policy_strings
+
+    def record_success(self, domain: str) -> None:
+        self._tallies[domain.lower()].successes += 1
+
+    def record_failure(self, domain: str, result_type: ResultType,
+                       mx_hostname: str = "", detail: str = "") -> None:
+        tally = self._tallies[domain.lower()]
+        tally.failures[(result_type, mx_hostname)] += 1
+
+    def window_expired(self) -> bool:
+        return self._clock.now() - self._window_start >= DAY
+
+    def close_window(self) -> List[TlsReport]:
+        """Emit one report per recipient domain and reset the window."""
+        reports: List[TlsReport] = []
+        window_end = self._clock.now()
+        for domain, tally in sorted(self._tallies.items()):
+            if not tally.successes and not tally.failures:
+                continue
+            self._report_serial += 1
+            details = [
+                FailureDetail(result_type=rtype,
+                              receiving_mx_hostname=mx,
+                              failed_session_count=count)
+                for (rtype, mx), count in sorted(
+                    tally.failures.items(),
+                    key=lambda kv: (kv[0][0].value, kv[0][1]))]
+            summary = PolicySummary(
+                policy_type=tally.policy_type,
+                policy_domain=domain,
+                policy_strings=tally.policy_strings,
+                total_successful_sessions=tally.successes,
+                total_failed_sessions=sum(tally.failures.values()),
+                failure_details=details)
+            reports.append(TlsReport(
+                organization_name=self.organization,
+                contact_info=self.contact,
+                report_id=(f"{self._window_start.date_string()}-"
+                           f"{domain}-{self._report_serial:06d}"),
+                window_start=self._window_start,
+                window_end=window_end,
+                policies=[summary]))
+        self._tallies.clear()
+        self._window_start = window_end
+        return reports
+
+
+# ---------------------------------------------------------------------------
+# Submission and receipt
+# ---------------------------------------------------------------------------
+
+class ReportInbox:
+    """A receiving endpoint that stores submitted reports.
+
+    Install as the HTTPS ``rua`` route handler and/or watch a mailbox
+    address; tests and the ecosystem's report-consuming domains read
+    :attr:`received`.
+    """
+
+    def __init__(self, domain: str):
+        self.domain = domain
+        self.received: List[TlsReport] = []
+
+    def submit(self, report_json: str) -> bool:
+        try:
+            self.received.append(TlsReport.from_json(report_json))
+        except (KeyError, ValueError, json.JSONDecodeError):
+            return False
+        return True
+
+
+@dataclass
+class SubmissionResult:
+    domain: str
+    endpoint: str
+    delivered: bool
+    detail: str = ""
+
+
+class ReportSubmitter:
+    """Delivers reports to the recipients' TLSRPT ``rua`` endpoints."""
+
+    def __init__(self, resolver: Resolver, *, mail_transport=None,
+                 https_inboxes: Optional[Dict[str, ReportInbox]] = None):
+        """``mail_transport`` is a :class:`repro.smtp.delivery.SendingMta`
+        (or compatible) used for ``mailto:`` endpoints;
+        ``https_inboxes`` maps https URLs to inboxes (the simulation's
+        stand-in for POSTing to a collector service)."""
+        self._resolver = resolver
+        self._mail = mail_transport
+        self._https_inboxes = https_inboxes or {}
+
+    def submit_report(self, report: TlsReport) -> List[SubmissionResult]:
+        domain = report.policies[0].policy_domain if report.policies else ""
+        record = lookup_tlsrpt(self._resolver, domain) if domain else None
+        if record is None:
+            return [SubmissionResult(domain, "", False,
+                                     "no TLSRPT record published")]
+        results = []
+        for endpoint in record.rua:
+            results.append(self._submit_one(report, domain, endpoint))
+        return results
+
+    def _submit_one(self, report: TlsReport, domain: str,
+                    endpoint: str) -> SubmissionResult:
+        if endpoint.startswith("mailto:"):
+            if self._mail is None:
+                return SubmissionResult(domain, endpoint, False,
+                                        "no mail transport configured")
+            from repro.smtp.delivery import Message
+            address = endpoint[len("mailto:"):]
+            attempt = self._mail.send(Message(
+                sender=f"tlsrpt@{report.organization_name}",
+                recipient=address, body=report.to_json()))
+            return SubmissionResult(domain, endpoint, attempt.delivered,
+                                    attempt.status.value)
+        if endpoint.startswith("https://"):
+            inbox = self._https_inboxes.get(endpoint)
+            if inbox is None:
+                return SubmissionResult(domain, endpoint, False,
+                                        "https endpoint unreachable")
+            ok = inbox.submit(report.to_json())
+            return SubmissionResult(domain, endpoint, ok,
+                                    "accepted" if ok else "rejected")
+        return SubmissionResult(domain, endpoint, False,
+                                f"unsupported scheme in {endpoint!r}")
+
+
+# ---------------------------------------------------------------------------
+# Mapping sender events to result types
+# ---------------------------------------------------------------------------
+
+def result_type_for_fetch_stage(stage: str) -> ResultType:
+    """Map a policy-fetch failure stage onto RFC 8460's vocabulary."""
+    if stage == "policy-syntax":
+        return ResultType.STS_POLICY_INVALID
+    return ResultType.STS_POLICY_FETCH_ERROR
+
+
+def result_type_for_tls_failure(failure_value: str) -> ResultType:
+    mapping = {
+        "hostname-mismatch": ResultType.CERTIFICATE_HOST_MISMATCH,
+        "expired": ResultType.CERTIFICATE_EXPIRED,
+        "not-yet-valid": ResultType.CERTIFICATE_EXPIRED,
+        "self-signed": ResultType.CERTIFICATE_NOT_TRUSTED,
+        "untrusted-root": ResultType.CERTIFICATE_NOT_TRUSTED,
+        "no-tls-support": ResultType.STARTTLS_NOT_SUPPORTED,
+    }
+    return mapping.get(failure_value, ResultType.VALIDATION_FAILURE)

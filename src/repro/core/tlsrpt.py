@@ -1,0 +1,83 @@
+"""SMTP TLS Reporting records (RFC 8460; paper Appendix B).
+
+A domain's TLSRPT policy lives in a TXT record at
+``_smtp._tls.<domain>``:
+
+    _smtp._tls.example.com IN TXT "v=TLSRPTv1; rua=mailto:tls@example.com"
+
+The paper tracks TLSRPT adoption alongside MTA-STS (Figure 12); the
+parser here validates the two fields the standard defines (``v`` and
+``rua``, a comma-separated list of ``mailto:`` or ``https:`` URIs).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dns.name import DnsName
+from repro.dns.records import RRType, TxtRecord
+from repro.dns.resolver import Resolver
+from repro.errors import DnsError
+
+_MAILTO_RE = re.compile(r"^mailto:[^@\s,!]+@[a-z0-9.-]+$", re.IGNORECASE)
+_HTTPS_RE = re.compile(r"^https://\S+$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class TlsRptRecord:
+    """A parsed TLSRPT record."""
+
+    version: str
+    rua: Tuple[str, ...]
+
+    def render(self) -> str:
+        return f"v={self.version}; rua={','.join(self.rua)}"
+
+
+def parse_tlsrpt_record(text: str) -> Optional[TlsRptRecord]:
+    """Parse one TXT string; returns None when invalid.
+
+    Validity rules: must begin with ``v=TLSRPTv1``, must contain a
+    ``rua`` field whose every URI is a well-formed ``mailto:`` or
+    ``https:`` endpoint.
+    """
+    stripped = text.strip()
+    if not stripped.startswith("v=TLSRPTv1"):
+        return None
+    rua: List[str] = []
+    fields = [f.strip() for f in stripped.split(";") if f.strip()]
+    if not fields or fields[0] != "v=TLSRPTv1":
+        return None
+    seen_rua = False
+    for chunk in fields[1:]:
+        key, _, value = chunk.partition("=")
+        if key.strip().lower() != "rua":
+            continue
+        seen_rua = True
+        for uri in value.split(","):
+            uri = uri.strip()
+            if not (_MAILTO_RE.match(uri) or _HTTPS_RE.match(uri)):
+                return None
+            rua.append(uri)
+    if not seen_rua or not rua:
+        return None
+    return TlsRptRecord("TLSRPTv1", tuple(rua))
+
+
+def lookup_tlsrpt(resolver: Resolver,
+                  domain: str | DnsName) -> Optional[TlsRptRecord]:
+    """Fetch and parse the TLSRPT record of *domain* (None if absent)."""
+    domain_text = (domain.text if isinstance(domain, DnsName)
+                   else domain).lower().rstrip(".")
+    name = DnsName.parse(f"_smtp._tls.{domain_text}")
+    try:
+        answer = resolver.resolve(name, RRType.TXT)
+    except DnsError:
+        return None
+    candidates = [r.text for r in answer.records if isinstance(r, TxtRecord)]
+    sts_like = [t for t in candidates if t.strip().startswith("v=TLSRPTv1")]
+    if len(sts_like) != 1:
+        return None
+    return parse_tlsrpt_record(sts_like[0])

@@ -1,0 +1,208 @@
+"""Receiving-side MTA-STS assessment.
+
+:class:`MtaStsValidator` runs the complete health check the paper
+performs for every MTA-STS-enabled domain (§4.2):
+
+1. evaluate the ``_mta-sts`` TXT record;
+2. fetch the policy over HTTPS with staged error reporting;
+3. probe every MX host for STARTTLS and PKIX-valid certificates;
+4. cross-check the policy's ``mx`` patterns against the actual MX
+   records.
+
+The resulting :class:`DomainAssessment` exposes the paper's four
+misconfiguration categories (Figure 4), the per-stage policy-server
+error (Figure 5), the per-MX certificate classes (Figures 6/7), and
+the headline question: *would an MTA-STS-compliant sender fail to
+deliver to this domain?* (the 3.2% / 640-domain finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.fetch import PolicyFetcher, PolicyFetchResult
+from repro.core.matching import policy_covers_mx, uncovered_mx_hosts
+from repro.core.policy import Policy, PolicyMode
+from repro.dns.name import DnsName
+from repro.dns.records import MxRecord, RRType
+from repro.dns.resolver import Resolver
+from repro.errors import MisconfigCategory, PolicyFetchStage
+from repro.smtp.client import ProbeResult, SmtpProbe
+
+
+@dataclass
+class MxProbeSummary:
+    """Aggregated view over a domain's MX probes."""
+
+    results: List[ProbeResult] = field(default_factory=list)
+
+    @property
+    def mx_hostnames(self) -> List[str]:
+        return [r.mx_hostname for r in self.results]
+
+    @property
+    def tls_capable(self) -> List[ProbeResult]:
+        """MXes that established TLS at all (§4.1: only these are judged)."""
+        return [r for r in self.results if r.tls_established]
+
+    @property
+    def any_invalid_cert(self) -> bool:
+        return any(not r.cert_valid for r in self.tls_capable)
+
+    @property
+    def all_invalid_cert(self) -> bool:
+        capable = self.tls_capable
+        return bool(capable) and all(not r.cert_valid for r in capable)
+
+    @property
+    def partially_invalid_cert(self) -> bool:
+        capable = self.tls_capable
+        invalid = [r for r in capable if not r.cert_valid]
+        return bool(invalid) and len(invalid) < len(capable)
+
+    def failure_classes(self) -> List[str]:
+        return sorted({r.failure_class() for r in self.tls_capable
+                       if not r.cert_valid})
+
+
+@dataclass
+class DomainAssessment:
+    """The complete MTA-STS health picture for one domain."""
+
+    domain: str
+    fetch_result: PolicyFetchResult
+    mx_records: List[str] = field(default_factory=list)
+    mx_probe: Optional[MxProbeSummary] = None
+
+    # -- component verdicts -------------------------------------------------
+
+    @property
+    def sts_enabled(self) -> bool:
+        return self.fetch_result.sts_enabled
+
+    @property
+    def record_valid(self) -> bool:
+        return self.fetch_result.record is not None
+
+    @property
+    def policy(self) -> Optional[Policy]:
+        return self.fetch_result.policy
+
+    @property
+    def policy_retrieval_ok(self) -> bool:
+        stage = self.fetch_result.failed_stage
+        return stage is None
+
+    @property
+    def policy_failed_stage(self) -> Optional[PolicyFetchStage]:
+        return self.fetch_result.failed_stage
+
+    @property
+    def mx_certs_ok(self) -> bool:
+        if self.mx_probe is None:
+            return True
+        return not self.mx_probe.any_invalid_cert
+
+    @property
+    def consistent(self) -> bool:
+        """Whether at least one actual MX matches the policy's patterns.
+
+        Following the paper, inconsistency is only judged when the other
+        components yielded a policy and the domain has MX records; a
+        domain with no retrievable policy is counted under the policy
+        error instead.
+        """
+        if self.policy is None or not self.mx_records:
+            return True
+        return any(policy_covers_mx(self.policy, mx)
+                   for mx in self.mx_records)
+
+    @property
+    def uncovered_mx(self) -> List[str]:
+        if self.policy is None:
+            return []
+        return uncovered_mx_hosts(self.policy, self.mx_records)
+
+    # -- paper-level categories ----------------------------------------------
+
+    def misconfig_categories(self) -> List[MisconfigCategory]:
+        """The Figure-4 categories this domain falls into (not exclusive)."""
+        categories: List[MisconfigCategory] = []
+        if self.sts_enabled and not self.record_valid:
+            categories.append(MisconfigCategory.DNS_RECORD)
+        if not self.policy_retrieval_ok:
+            categories.append(MisconfigCategory.POLICY_RETRIEVAL)
+        if not self.mx_certs_ok:
+            categories.append(MisconfigCategory.MX_CERTIFICATE)
+        if not self.consistent:
+            categories.append(MisconfigCategory.INCONSISTENCY)
+        return categories
+
+    @property
+    def misconfigured(self) -> bool:
+        return bool(self.misconfig_categories())
+
+    @property
+    def delivery_failure_expected(self) -> bool:
+        """Would a compliant sender in steady state fail to deliver?
+
+        Per RFC 8461 this happens only when the policy is retrievable,
+        its mode is ``enforce``, and either no MX matches the patterns
+        or every matching MX fails certificate validation.  Broken
+        record/policy retrieval degrades senders to opportunistic TLS
+        (no cached policy) rather than failing delivery.
+        """
+        policy = self.policy
+        if policy is None or policy.mode is not PolicyMode.ENFORCE:
+            return False
+        if not self.policy_retrieval_ok:
+            return False
+        if not self.mx_records:
+            return False
+        matching = [mx for mx in self.mx_records
+                    if policy_covers_mx(policy, mx)]
+        if not matching:
+            return True
+        if self.mx_probe is None:
+            return False
+        by_name = {r.mx_hostname: r for r in self.mx_probe.results}
+        verdicts = [by_name.get(mx.rstrip(".").lower()) for mx in matching]
+        usable = [v for v in verdicts if v is not None]
+        if not usable:
+            return False
+        return all(not v.cert_valid for v in usable)
+
+
+class MtaStsValidator:
+    """Runs the full assessment for one domain."""
+
+    def __init__(self, resolver: Resolver, fetcher: PolicyFetcher,
+                 probe: Optional[SmtpProbe] = None):
+        self._resolver = resolver
+        self._fetcher = fetcher
+        self._probe = probe
+
+    def mx_hostnames(self, domain: str | DnsName) -> List[str]:
+        if isinstance(domain, str):
+            domain = DnsName.parse(domain)
+        answer = self._resolver.try_resolve(domain, RRType.MX)
+        if answer is None:
+            return []
+        records = sorted(
+            (r for r in answer.records if isinstance(r, MxRecord)),
+            key=lambda r: (r.preference, r.exchange.text))
+        return [r.exchange.text for r in records]
+
+    def assess(self, domain: str | DnsName,
+               *, probe_mx: bool = True) -> DomainAssessment:
+        domain_text = (domain.text if isinstance(domain, DnsName)
+                       else domain).lower().rstrip(".")
+        fetch_result = self._fetcher.fetch_policy(domain_text)
+        assessment = DomainAssessment(domain_text, fetch_result)
+        assessment.mx_records = self.mx_hostnames(domain_text)
+        if probe_mx and self._probe is not None and assessment.mx_records:
+            summary = MxProbeSummary(
+                [self._probe.probe_host(mx) for mx in assessment.mx_records])
+            assessment.mx_probe = summary
+        return assessment

@@ -1,0 +1,19 @@
+"""In-memory DNS: names, records, zones, servers, and a resolver."""
+
+from repro.dns.name import DnsName, effective_sld, registrable_part
+from repro.dns.records import (
+    RRType, ResourceRecord, ARecord, AaaaRecord, MxRecord, NsRecord,
+    TxtRecord, CnameRecord, TlsaRecord, SoaRecord,
+)
+from repro.dns.zone import Zone, parse_master_file, serialize_zone
+from repro.dns.server import AuthoritativeServer, ServerFault
+from repro.dns.resolver import Resolver, Answer
+
+__all__ = [
+    "DnsName", "effective_sld", "registrable_part",
+    "RRType", "ResourceRecord", "ARecord", "AaaaRecord", "MxRecord",
+    "NsRecord", "TxtRecord", "CnameRecord", "TlsaRecord", "SoaRecord",
+    "Zone", "parse_master_file", "serialize_zone",
+    "AuthoritativeServer", "ServerFault",
+    "Resolver", "Answer",
+]

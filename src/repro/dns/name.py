@@ -1,0 +1,169 @@
+"""DNS name handling.
+
+Names are case-insensitive sequences of labels.  The measurement
+pipeline leans heavily on two derived notions:
+
+* the **effective second-level domain** (eSLD), used by the paper's
+  Heuristic 1/2 to decide whether an MX or NS host "belongs to" the
+  scanned domain or to a provider; and
+* label arithmetic (parent, subdomain-of, label count) used by the
+  mx-pattern mismatch classifier (Figure 8's TLD / domain / 3LD+
+  classes).
+
+A small embedded public-suffix list covers the TLDs and multi-label
+suffixes the simulation uses; it is intentionally not the full PSL —
+the library accepts an extended suffix set for users who need one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+_LABEL_RE = re.compile(r"^[a-z0-9_*]([a-z0-9_-]*[a-z0-9_])?$")
+
+#: Multi-label public suffixes known to the simulation, beyond plain TLDs.
+DEFAULT_MULTI_LABEL_SUFFIXES = frozenset({
+    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.jp", "or.jp",
+    "com.br", "co.nz", "co.za", "com.mx",
+})
+
+
+@dataclass(frozen=True, order=True)
+class DnsName:
+    """A fully-qualified DNS name, stored lowercase without a root dot."""
+
+    labels: Tuple[str, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "DnsName":
+        text = text.strip().rstrip(".").lower()
+        if not text:
+            raise ValueError("empty DNS name")
+        labels = tuple(text.split("."))
+        for label in labels:
+            if not label:
+                raise ValueError(f"empty label in {text!r}")
+            if len(label) > 63:
+                raise ValueError(f"label too long in {text!r}")
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label {label!r} in {text!r}")
+        if sum(len(l) + 1 for l in labels) > 254:
+            raise ValueError(f"name too long: {text!r}")
+        return cls(labels)
+
+    @classmethod
+    def try_parse(cls, text: str) -> "DnsName | None":
+        try:
+            return cls.parse(text)
+        except ValueError:
+            return None
+
+    @property
+    def text(self) -> str:
+        return ".".join(self.labels)
+
+    def __str__(self) -> str:
+        return self.text
+
+    # -- label arithmetic ----------------------------------------------
+
+    def label_count(self) -> int:
+        return len(self.labels)
+
+    def parent(self) -> "DnsName":
+        if len(self.labels) <= 1:
+            raise ValueError(f"{self.text!r} has no parent")
+        return DnsName(self.labels[1:])
+
+    def child(self, label: str) -> "DnsName":
+        return DnsName.parse(f"{label}.{self.text}")
+
+    def tld(self) -> str:
+        return self.labels[-1]
+
+    def is_subdomain_of(self, other: "DnsName") -> bool:
+        """True if *self* equals *other* or sits underneath it."""
+        n = len(other.labels)
+        return len(self.labels) >= n and self.labels[-n:] == other.labels
+
+    def strictly_under(self, other: "DnsName") -> bool:
+        return self != other and self.is_subdomain_of(other)
+
+
+def _suffix_length(name: DnsName,
+                   multi_label_suffixes: Iterable[str]) -> int:
+    """Number of labels in the public suffix of *name*."""
+    if len(name.labels) >= 2:
+        last_two = ".".join(name.labels[-2:])
+        if last_two in multi_label_suffixes:
+            return 2
+    return 1
+
+
+def effective_sld(name: DnsName | str,
+                  multi_label_suffixes: Iterable[str] = DEFAULT_MULTI_LABEL_SUFFIXES,
+                  ) -> "DnsName | None":
+    """The registrable domain (public suffix plus one label).
+
+    Returns ``None`` when *name* is itself a public suffix (no
+    registrable part), mirroring how the paper tallies "effective SLDs
+    for each MX and NS entry".
+    """
+    if isinstance(name, str):
+        name = DnsName.parse(name)
+    suffix_len = _suffix_length(name, multi_label_suffixes)
+    if len(name.labels) <= suffix_len:
+        return None
+    return DnsName(name.labels[-(suffix_len + 1):])
+
+
+def registrable_part(name: DnsName | str) -> str:
+    """The eSLD as text, or the input itself if it is a bare suffix."""
+    if isinstance(name, str):
+        name = DnsName.parse(name)
+    sld = effective_sld(name)
+    return (sld or name).text
+
+
+def second_label(name: DnsName | str) -> str:
+    """The label left of the public suffix (``tutanota`` in
+    ``mta-sts.tutanota.com``) — the token the paper compares to infer
+    whether two outsourced services share a provider (Section 4.5.1)."""
+    if isinstance(name, str):
+        name = DnsName.parse(name)
+    sld = effective_sld(name)
+    if sld is None:
+        return name.labels[0]
+    return sld.labels[0]
+
+
+def levenshtein(a: str, b: str, *, cap: int | None = None) -> int:
+    """Edit distance between two strings, optionally capped.
+
+    Used by the typo classifier (Figure 8): mismatched mx patterns with
+    edit distance <= 3 to an actual MX are counted as typographical
+    errors.  With *cap* set, computation stops early and returns
+    ``cap + 1`` when the distance is known to exceed the cap.
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if cap is not None and len(b) - len(a) > cap:
+        return cap + 1
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        best = j
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            value = min(previous[i] + 1, current[i - 1] + 1,
+                        previous[i - 1] + cost)
+            current.append(value)
+            best = min(best, value)
+        if cap is not None and best > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]

@@ -1,0 +1,217 @@
+"""A caching recursive resolver.
+
+The resolver holds a delegation registry (zone apex → authoritative
+server addresses) standing in for the root/TLD referral chain, chases
+CNAMEs across zones with loop protection, and caches both positive and
+negative answers by TTL against the simulated clock.  All scanner
+lookups in :mod:`repro.measurement.scanner` go through this class, so
+its error surface (NXDOMAIN, NODATA, SERVFAIL, timeout) is exactly the
+set of DNS outcomes the paper's Figure 5 "DNS" bar aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.clock import Clock, Duration, Instant
+from repro.dns.name import DnsName
+from repro.dns.records import CnameRecord, ResourceRecord, RRType
+from repro.dns.server import DNS_PORT, AuthoritativeServer
+from repro.errors import (
+    CnameLoop, DnsError, DnsTimeout, NoData, NxDomain, ServFail,
+    ConnectionRefused, ConnectionTimeout,
+)
+from repro.netsim.ip import IpAddress
+from repro.netsim.network import Network
+
+MAX_CNAME_DEPTH = 8
+
+
+@dataclass
+class Answer:
+    """A successful resolution."""
+
+    name: DnsName                      # the name originally queried
+    rrtype: RRType
+    records: List[ResourceRecord]      # records at the end of any CNAME chain
+    cname_chain: List[CnameRecord] = field(default_factory=list)
+    from_cache: bool = False
+
+    @property
+    def canonical_name(self) -> DnsName:
+        if self.cname_chain:
+            return self.cname_chain[-1].target
+        return self.name
+
+
+@dataclass
+class _CacheEntry:
+    expires: Instant
+    records: List[ResourceRecord] | None   # None encodes a negative entry
+    negative: type | None = None           # NxDomain or NoData
+
+
+class Resolver:
+    """Recursive resolver with TTL-based positive and negative caching."""
+
+    def __init__(self, network: Network, clock: Clock,
+                 *, cache_enabled: bool = True,
+                 negative_ttl: int = 300):
+        self._network = network
+        self._clock = clock
+        self._delegations: Dict[DnsName, List[IpAddress]] = {}
+        self._cache: Dict[Tuple[DnsName, RRType], _CacheEntry] = {}
+        self._cache_enabled = cache_enabled
+        self._negative_ttl = negative_ttl
+        self.query_count = 0
+        self.cache_hits = 0
+
+    # -- delegation registry -------------------------------------------
+
+    def delegate(self, apex: DnsName | str,
+                 servers: List[IpAddress]) -> None:
+        """Register the authoritative servers for a zone apex."""
+        if isinstance(apex, str):
+            apex = DnsName.parse(apex)
+        self._delegations[apex] = list(servers)
+
+    def undelegate(self, apex: DnsName | str) -> None:
+        if isinstance(apex, str):
+            apex = DnsName.parse(apex)
+        self._delegations.pop(apex, None)
+
+    def servers_for(self, name: DnsName) -> List[IpAddress]:
+        best_apex: DnsName | None = None
+        for apex in self._delegations:
+            if name.is_subdomain_of(apex):
+                if best_apex is None or apex.label_count() > best_apex.label_count():
+                    best_apex = apex
+        if best_apex is None:
+            return []
+        return self._delegations[best_apex]
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve(self, name: DnsName | str, rrtype: RRType) -> Answer:
+        """Resolve *name*/*rrtype*, chasing CNAMEs.
+
+        Raises the appropriate :class:`~repro.errors.DnsError` subclass
+        on failure.  NODATA (empty answer for an existing name) raises
+        :class:`NoData` so callers never confuse "no record" with an
+        empty RRset.
+        """
+        if isinstance(name, str):
+            name = DnsName.parse(name)
+        chain: List[CnameRecord] = []
+        current = name
+        seen = {current}
+        for _ in range(MAX_CNAME_DEPTH + 1):
+            records, cname = self._query_one(current, rrtype)
+            if cname is not None:
+                chain.append(cname)
+                current = cname.target
+                if current in seen:
+                    raise CnameLoop(f"CNAME loop at {current}")
+                seen.add(current)
+                continue
+            if not records:
+                raise NoData(f"{current}/{rrtype.value}: no data")
+            return Answer(name, rrtype, records, chain)
+        raise CnameLoop(f"CNAME chain too long resolving {name}")
+
+    def try_resolve(self, name: DnsName | str,
+                    rrtype: RRType) -> Answer | None:
+        """Like :meth:`resolve` but returns ``None`` on any DNS failure."""
+        try:
+            return self.resolve(name, rrtype)
+        except DnsError:
+            return None
+
+    def resolve_address(self, name: DnsName | str) -> List[IpAddress]:
+        """Resolve A then AAAA, returning every address found.
+
+        Raises the A-lookup's error if both address families fail.
+        """
+        addresses: List[IpAddress] = []
+        first_error: DnsError | None = None
+        for rrtype in (RRType.A, RRType.AAAA):
+            try:
+                answer = self.resolve(name, rrtype)
+            except DnsError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            addresses.extend(r.address for r in answer.records)  # type: ignore[attr-defined]
+        if not addresses:
+            raise first_error or NoData(f"{name}: no address records")
+        return addresses
+
+    # -- internals --------------------------------------------------------
+
+    def _query_one(self, name: DnsName, rrtype: RRType
+                   ) -> Tuple[List[ResourceRecord], CnameRecord | None]:
+        now = self._clock.now()
+        key = (name, rrtype)
+        if self._cache_enabled:
+            entry = self._cache.get(key)
+            if entry is not None and entry.expires > now:
+                self.cache_hits += 1
+                if entry.negative is not None:
+                    raise entry.negative(f"{name}/{rrtype.value} (cached)")
+                records = entry.records or []
+                cname = None
+                if (records and isinstance(records[0], CnameRecord)
+                        and rrtype is not RRType.CNAME):
+                    cname = records[0]
+                    records = []
+                return records, cname
+
+        self.query_count += 1
+        servers = self.servers_for(name)
+        if not servers:
+            raise DnsTimeout(f"no delegation covers {name}")
+        last_error: DnsError = DnsTimeout(f"all servers failed for {name}")
+        for server_ip in servers:
+            try:
+                server = self._network.connect(server_ip, DNS_PORT)
+            except (ConnectionRefused, ConnectionTimeout):
+                last_error = DnsTimeout(f"{server_ip} unreachable")
+                continue
+            if not isinstance(server, AuthoritativeServer):
+                last_error = ServFail(f"{server_ip} is not a DNS server")
+                continue
+            try:
+                result = server.query(name, rrtype)
+            except ServFail as exc:
+                last_error = exc
+                continue
+            if result.rcode == "NXDOMAIN":
+                self._store_negative(key, NxDomain)
+                raise NxDomain(f"{name} does not exist")
+            if result.cname is not None:
+                self._store_positive(key, [result.cname])
+                return [], result.cname
+            if not result.records:
+                self._store_negative(key, NoData)
+                return [], None
+            self._store_positive(key, result.records)
+            return list(result.records), None
+        raise last_error
+
+    def _store_positive(self, key, records: List[ResourceRecord]) -> None:
+        if not self._cache_enabled:
+            return
+        ttl = min(r.ttl for r in records)
+        self._cache[key] = _CacheEntry(
+            self._clock.now() + Duration(ttl), list(records))
+
+    def _store_negative(self, key, error_type: type) -> None:
+        if not self._cache_enabled:
+            return
+        self._cache[key] = _CacheEntry(
+            self._clock.now() + Duration(self._negative_ttl), None,
+            error_type)
+
+    def flush_cache(self) -> None:
+        self._cache.clear()

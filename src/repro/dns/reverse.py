@@ -1,0 +1,84 @@
+"""Reverse DNS and forward-confirmed reverse DNS (FCrDNS).
+
+The paper's instrumented SMTP client connects "from a host with
+correctly configured forward-confirmed reverse DNS" and EHLOs "with a
+name matching the reverse DNS" (§4.1) — many MTAs greylist or refuse
+peers that fail this check.  This module provides:
+
+* :func:`reverse_name` — the ``in-addr.arpa`` owner name of an IPv4
+  address;
+* :func:`publish_ptr` — install a PTR (and matching forward A record)
+  for a host identity;
+* :func:`fcrdns_check` — the full verification an MTA performs: the
+  connecting IP's PTR must name the claimed hostname, and that
+  hostname's A record must include the connecting IP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dns.name import DnsName
+from repro.dns.records import ARecord, PtrRecord, RRType
+from repro.dns.resolver import Resolver
+from repro.dns.zone import Zone
+from repro.netsim.ip import IpAddress
+
+REVERSE_SUFFIX = "in-addr.arpa"
+
+
+def reverse_name(ip: IpAddress) -> DnsName:
+    """``10.1.2.3`` → ``3.2.1.10.in-addr.arpa``."""
+    if ip.family != 4:
+        raise ValueError("only IPv4 reverse names are modelled")
+    octets = ip.text.split(".")
+    return DnsName.parse(".".join(reversed(octets)) + "." + REVERSE_SUFFIX)
+
+
+@dataclass
+class FcrdnsResult:
+    """Outcome of one FCrDNS verification."""
+
+    passed: bool
+    ptr_name: Optional[str] = None
+    detail: str = ""
+
+
+def publish_ptr(reverse_zone: Zone, ip: IpAddress,
+                hostname: str | DnsName, *, ttl: int = 3600) -> None:
+    """Install the PTR record for *ip* pointing at *hostname*."""
+    name = (DnsName.parse(hostname) if isinstance(hostname, str)
+            else hostname)
+    owner = reverse_name(ip)
+    if not owner.is_subdomain_of(reverse_zone.apex):
+        raise ValueError(f"{owner} is outside zone {reverse_zone.apex}")
+    reverse_zone.replace(PtrRecord(owner, ttl, name))
+
+
+def fcrdns_check(resolver: Resolver, ip: IpAddress,
+                 claimed_hostname: str | DnsName) -> FcrdnsResult:
+    """Verify PTR(ip) == claimed name and A(claimed name) ∋ ip."""
+    claimed = (claimed_hostname.text
+               if isinstance(claimed_hostname, DnsName)
+               else claimed_hostname).lower().rstrip(".")
+    answer = resolver.try_resolve(reverse_name(ip), RRType.PTR)
+    if answer is None or not answer.records:
+        return FcrdnsResult(False, detail=f"no PTR record for {ip}")
+    ptr_names = {r.ptrdname.text for r in answer.records
+                 if isinstance(r, PtrRecord)}
+    if claimed not in ptr_names:
+        return FcrdnsResult(
+            False, ptr_name=sorted(ptr_names)[0] if ptr_names else None,
+            detail=f"PTR names {sorted(ptr_names)} != claimed {claimed!r}")
+    forward = resolver.try_resolve(claimed, RRType.A)
+    if forward is None:
+        return FcrdnsResult(False, ptr_name=claimed,
+                            detail=f"{claimed} has no A record")
+    addresses = {r.address.text for r in forward.records
+                 if isinstance(r, ARecord)}
+    if ip.text not in addresses:
+        return FcrdnsResult(
+            False, ptr_name=claimed,
+            detail=f"{claimed} resolves to {sorted(addresses)}, not {ip}")
+    return FcrdnsResult(True, ptr_name=claimed)

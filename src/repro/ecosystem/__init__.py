@@ -1,0 +1,22 @@
+"""The synthetic email ecosystem standing in for the paper's zone scans."""
+
+from repro.ecosystem.world import World
+from repro.ecosystem.providers import (
+    EmailProvider, PolicyHostProvider, OptOutBehavior, table2_providers,
+)
+from repro.ecosystem.deployment import DomainSpec, DeployedDomain, deploy_domain
+from repro.ecosystem.misconfig import Fault, apply_fault
+from repro.ecosystem.population import PopulationConfig, TldPopulation, generate_population
+from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+from repro.ecosystem.tranco import TrancoRanking
+
+__all__ = [
+    "World",
+    "EmailProvider", "PolicyHostProvider", "OptOutBehavior",
+    "table2_providers",
+    "DomainSpec", "DeployedDomain", "deploy_domain",
+    "Fault", "apply_fault",
+    "PopulationConfig", "TldPopulation", "generate_population",
+    "EcosystemTimeline", "TimelineConfig",
+    "TrancoRanking",
+]

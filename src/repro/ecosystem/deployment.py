@@ -1,0 +1,219 @@
+"""Deploying one domain's full MTA-STS stack into a :class:`World`.
+
+A :class:`DomainSpec` is the declarative description of how a domain
+owner set things up — who runs their DNS, MX, and policy hosting, what
+the policy says, and which faults (if any) their configuration
+carries.  :func:`deploy_domain` turns the spec into live simulated
+infrastructure: a zone on an authoritative server, MX hosts with
+STARTTLS certificates, and a policy file served over HTTPS either from
+the owner's own web server or via CNAME delegation to a provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.core.policy import Policy, PolicyMode, render_policy
+from repro.core.record import StsRecord
+from repro.core.tlsrpt import TlsRptRecord
+from repro.dns.name import DnsName
+from repro.dns.records import (
+    ARecord, CnameRecord, MxRecord, NsRecord, RRType, SoaRecord, TxtRecord,
+)
+from repro.dns.zone import Zone
+from repro.ecosystem.providers import EmailProvider, PolicyHostProvider
+from repro.ecosystem.world import World
+from repro.netsim.ip import IpAddress
+from repro.smtp.server import MxHost
+from repro.tls.handshake import TlsEndpoint
+from repro.web.server import WebServer
+
+
+@dataclass
+class DomainSpec:
+    """How one domain's email and MTA-STS stack is arranged."""
+
+    domain: str
+    # DNS management: None = self-managed NS under the domain itself.
+    dns_provider_sld: Optional[str] = None
+    # Email: a provider, or None for a self-managed MX.
+    email_provider: Optional[EmailProvider] = None
+    self_mx_count: int = 1
+    # Policy hosting: a provider, or None for self-managed (when the
+    # domain deploys MTA-STS at all).
+    policy_provider: Optional[PolicyHostProvider] = None
+    # MTA-STS intent
+    deploy_sts: bool = True
+    record_id: str = "20240101"
+    policy: Optional[Policy] = None
+    # TLSRPT
+    tlsrpt: Optional[TlsRptRecord] = None
+
+    def effective_policy(self) -> Policy:
+        if self.policy is not None:
+            return self.policy
+        return Policy(version="STSv1", mode=PolicyMode.TESTING,
+                      max_age=604800, mx_patterns=tuple(self.intended_mx()))
+
+    def intended_mx(self) -> List[str]:
+        if self.email_provider is not None:
+            if self.email_provider.assigns_unique_mx_per_customer:
+                return [f"{self.domain.replace('.', '-')}.mail."
+                        f"{self.email_provider.sld}"]
+            return list(self.email_provider.mx_hostnames)
+        return [f"mx{i + 1}.{self.domain}" if self.self_mx_count > 1
+                else f"mail.{self.domain}"
+                for i in range(self.self_mx_count)]
+
+
+@dataclass
+class DeployedDomain:
+    """Handles to everything :func:`deploy_domain` built."""
+
+    spec: DomainSpec
+    zone: Zone
+    mx_hosts: List[MxHost] = field(default_factory=list)
+    policy_server: Optional[WebServer] = None   # self-managed only
+    policy_text: str = ""
+
+    @property
+    def domain(self) -> str:
+        return self.spec.domain
+
+    # -- mutation helpers used by the misconfig injector and timeline ---
+
+    def set_record(self, text: str) -> None:
+        name = DnsName.parse(f"_mta-sts.{self.domain}")
+        self.zone.remove(name, RRType.TXT)
+        self.zone.add(TxtRecord(name, 300, text))
+
+    def remove_record(self) -> None:
+        self.zone.remove(DnsName.parse(f"_mta-sts.{self.domain}"), RRType.TXT)
+
+    def set_policy_text(self, text: str) -> None:
+        self.policy_text = text
+        if self.policy_server is not None:
+            self.policy_server.host_policy(self.domain, text)
+        elif self.spec.policy_provider is not None:
+            provider = self.spec.policy_provider
+            assert provider.web_server is not None
+            provider.hosted_policies[self.domain] = text
+            provider.web_server.host_policy(self.domain, text)
+
+    def set_mx_records(self, hostnames: List[str]) -> None:
+        apex = DnsName.parse(self.domain)
+        self.zone.remove(apex, RRType.MX)
+        for i, hostname in enumerate(hostnames):
+            self.zone.add(MxRecord(apex, 3600, 10 + i,
+                                   DnsName.parse(hostname)))
+
+    def mx_record_hostnames(self) -> List[str]:
+        apex = DnsName.parse(self.domain)
+        records = sorted(self.zone.lookup(apex, RRType.MX),
+                         key=lambda r: (r.preference, r.exchange.text))
+        return [r.exchange.text for r in records]
+
+
+def _sts_record_text(record_id: str) -> str:
+    return f"v=STSv1; id={record_id};"
+
+
+def deploy_domain(world: World, spec: DomainSpec) -> DeployedDomain:
+    """Build the full stack for *spec* and return the handles."""
+    apex = DnsName.parse(spec.domain)
+    zone = Zone(apex=apex)
+    zone.add(SoaRecord(apex))
+
+    # NS records: self-managed shares the domain's SLD; provider-managed
+    # points at the provider (classification Heuristic 2 keys on this).
+    ns_base = spec.dns_provider_sld or spec.domain
+    for i in (1, 2):
+        zone.add(NsRecord(apex, 86400, DnsName.parse(f"ns{i}.{ns_base}")))
+
+    deployed = DeployedDomain(spec=spec, zone=zone)
+
+    # --- MX hosts -----------------------------------------------------
+    mx_hostnames = spec.intended_mx()
+    if spec.email_provider is not None:
+        spec.email_provider.deploy(world)
+        if spec.email_provider.assigns_unique_mx_per_customer:
+            _deploy_unique_provider_mx(world, spec, mx_hostnames[0])
+    else:
+        for hostname in mx_hostnames:
+            ip = world.fresh_ip("mx")
+            tls = TlsEndpoint()
+            cert = world.issue_cert([hostname])
+            tls.install(hostname, cert, default=True)
+            deployed.mx_hosts.append(
+                MxHost(hostname, ip, world.network, tls=tls))
+            zone.add(ARecord(DnsName.parse(hostname), 3600, ip))
+    for i, hostname in enumerate(mx_hostnames):
+        zone.add(MxRecord(apex, 3600, 10 + i, DnsName.parse(hostname)))
+
+    # --- apex A record (websites exist; also the implicit-MX fallback) --
+    zone.add(ARecord(apex, 3600, world.fresh_ip("web")))
+
+    # The zone goes live now: provider onboarding below performs ACME
+    # domain validation, which must be able to resolve the customer's
+    # mta-sts records through the real resolver.
+    world.host_zone(zone)
+
+    # --- MTA-STS -----------------------------------------------------------
+    if spec.deploy_sts:
+        policy = spec.effective_policy()
+        policy_text = render_policy(policy)
+        deployed.policy_text = policy_text
+        zone.add(TxtRecord(DnsName.parse(f"_mta-sts.{spec.domain}"), 300,
+                           _sts_record_text(spec.record_id)))
+        policy_host = DnsName.parse(f"mta-sts.{spec.domain}")
+        if spec.policy_provider is not None:
+            provider = spec.policy_provider
+            provider.deploy(world)
+            if provider.delegate_via_cname:
+                provider.publish_canonical_dns(world, spec.domain)
+                zone.add(CnameRecord(
+                    policy_host, 3600,
+                    DnsName.parse(provider.canonical_host_for(spec.domain))))
+            else:
+                assert provider.web_server is not None
+                zone.add(ARecord(policy_host, 3600,
+                                 provider.web_server.ip))
+            provider.onboard(world, spec.domain, policy)
+        else:
+            ip = world.fresh_ip("web")
+            server = WebServer(f"www.{spec.domain}", ip, world.network)
+            cert = world.issue_cert([f"mta-sts.{spec.domain}"])
+            server.tls.install(f"mta-sts.{spec.domain}", cert, default=True)
+            server.host_policy(spec.domain, policy_text)
+            deployed.policy_server = server
+            zone.add(ARecord(policy_host, 3600, ip))
+
+    # --- TLSRPT --------------------------------------------------------------
+    if spec.tlsrpt is not None:
+        zone.add(TxtRecord(DnsName.parse(f"_smtp._tls.{spec.domain}"), 300,
+                           spec.tlsrpt.render()))
+
+    return deployed
+
+
+def _deploy_unique_provider_mx(world: World, spec: DomainSpec,
+                               hostname: str) -> None:
+    """The lucidgrow pattern: a unique MX hostname per customer, all on
+    the provider's infrastructure with provider-issued certs."""
+    provider = spec.email_provider
+    assert provider is not None
+    ip = world.fresh_ip("mx")
+    tls = TlsEndpoint()
+    cert = world.issue_cert([hostname])
+    tls.install(hostname, cert, default=True)
+    MxHost(hostname, ip, world.network, tls=tls)
+
+    apex = DnsName.parse(provider.sld)
+    server = world.server_for(provider.sld)
+    if server is None:
+        zone = Zone(apex=apex)
+        server = world.host_zone(zone)
+    zone = server.zone_for(apex)
+    assert zone is not None
+    zone.add(ARecord(DnsName.parse(hostname), 3600, ip))

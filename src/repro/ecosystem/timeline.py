@@ -1,0 +1,273 @@
+"""The longitudinal simulator.
+
+The paper's measurement has two cadences:
+
+* **weekly DNS snapshots** (Sep 2021 – Sep 2024) feeding the adoption
+  curves (Figures 2/12 and Table 1) — computed analytically from the
+  domain plans, no infrastructure needed;
+* **monthly component scans** (Nov 2023 – Sep 2024) that fetch
+  policies and probe MX hosts (Figures 4-10) — for these the timeline
+  *materialises* a fresh :class:`~repro.ecosystem.world.World` per
+  snapshot, deploys every domain adopted by that date with its
+  scheduled faults active, and hands the world to the scanner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import Instant, WEEK, monthly_instants
+from repro.core.policy import Policy, PolicyMode
+from repro.ecosystem.deployment import DeployedDomain, DomainSpec, deploy_domain
+from repro.ecosystem.misconfig import Fault, apply_fault
+from repro.ecosystem.population import (
+    DomainPlan, PopulationConfig, TldPopulation, generate_population,
+)
+from repro.ecosystem.providers import (
+    EmailProvider, OptOutBehavior, PolicyHostProvider,
+    default_email_providers, generic_providers, table2_providers,
+)
+from repro.ecosystem.world import World
+
+SCAN_START = Instant.from_date(2023, 11, 7)
+SCAN_END = Instant.from_date(2024, 9, 29)
+SERIES_START = Instant.from_date(2021, 9, 9)
+SERIES_END = Instant.from_date(2024, 9, 29)
+
+
+@dataclass
+class TimelineConfig:
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+
+
+@dataclass
+class MaterializedSnapshot:
+    """One scan month's live world plus per-domain handles."""
+
+    month_index: int
+    instant: Instant
+    world: World
+    deployed: Dict[str, DeployedDomain]
+    policy_providers: Dict[str, PolicyHostProvider]
+    email_providers: Dict[str, EmailProvider]
+    plans: Dict[str, DomainPlan]
+
+
+class EcosystemTimeline:
+    """Owns the domain plans and materialises scan snapshots."""
+
+    def __init__(self, config: Optional[TimelineConfig] = None):
+        self.config = config or TimelineConfig()
+        self.populations: Dict[str, TldPopulation] = generate_population(
+            self.config.population)
+        self.scan_instants: List[Instant] = list(
+            monthly_instants(SCAN_START, SCAN_END))
+        if self.scan_instants[-1] < SCAN_END:
+            self.scan_instants.append(SCAN_END)
+
+    # -- analytic weekly series (no infrastructure) ---------------------
+
+    def week_of(self, instant: Instant) -> int:
+        return max(0, (instant - SERIES_START).seconds // WEEK.seconds)
+
+    def weekly_instants(self) -> List[Instant]:
+        out = []
+        current = SERIES_START
+        while current <= SERIES_END:
+            out.append(current)
+            current = current + WEEK
+        return out
+
+    def all_plans(self) -> List[DomainPlan]:
+        return [plan for population in self.populations.values()
+                for plan in population.plans]
+
+    def adoption_series(self, tld: str) -> List[Tuple[Instant, int, float]]:
+        """Weekly (instant, count, percent-of-MX-domains) for one TLD.
+
+        This is Figure 2's data: the share of the TLD's MX-publishing
+        domains that carry an MTA-STS record.
+        """
+        population = self.populations[tld]
+        scaled_total = max(
+            1, round(population.mx_domain_total * self.config.population.scale))
+        series = []
+        for instant in self.weekly_instants():
+            week = self.week_of(instant)
+            count = sum(1 for plan in population.plans
+                        if plan.adopted_by_week(week))
+            series.append((instant, count, 100.0 * count / scaled_total))
+        return series
+
+    def tlsrpt_series(self, tld: str) -> List[Tuple[Instant, float, float]]:
+        """Figure 12: weekly TLSRPT adoption.
+
+        Returns (instant, % of MX domains with TLSRPT, % of MTA-STS
+        domains with TLSRPT).
+        """
+        population = self.populations[tld]
+        scaled_total = max(
+            1, round(population.mx_domain_total * self.config.population.scale))
+        series = []
+        for instant in self.weekly_instants():
+            week = self.week_of(instant)
+            sts_plans = [p for p in population.plans
+                         if p.adopted_by_week(week)]
+            sts_with_rpt = sum(1 for p in sts_plans
+                               if p.has_tlsrpt_at_week(week))
+            only = (population.tlsrpt_only_weekly[week]
+                    if week < len(population.tlsrpt_only_weekly) else
+                    population.tlsrpt_only_weekly[-1])
+            total_rpt = only + sts_with_rpt
+            pct_of_mx = 100.0 * total_rpt / scaled_total
+            pct_of_sts = (100.0 * sts_with_rpt / len(sts_plans)
+                          if sts_plans else 0.0)
+            series.append((instant, pct_of_mx, pct_of_sts))
+        return series
+
+    def table1_rows(self) -> List[dict]:
+        """Table 1: per-TLD domain totals and final MTA-STS counts."""
+        rows = []
+        final_week = self.week_of(SERIES_END)
+        for tld, population in self.populations.items():
+            if tld not in ("com", "net", "org", "se"):
+                continue
+            scaled_total = max(
+                1, round(population.mx_domain_total
+                         * self.config.population.scale))
+            count = sum(1 for plan in population.plans
+                        if plan.adopted_by_week(final_week))
+            rows.append({
+                "tld": tld,
+                "mx_domains": scaled_total,
+                "sts_domains": count,
+                "sts_percent": 100.0 * count / scaled_total,
+            })
+        return rows
+
+    # -- materialisation -------------------------------------------------------
+
+    def materialize(self, month_index: int) -> MaterializedSnapshot:
+        """Build the live world for scan month *month_index*."""
+        instant = self.scan_instants[month_index]
+        week = self.week_of(instant)
+        world = World(start=instant)
+
+        policy_providers = {p.name: p for p in
+                            table2_providers() + generic_providers()}
+        email_providers = {p.name: p for p in default_email_providers()}
+        # The misconfiguration injector consults this registry when a
+        # domain migrates between hosting providers (OUTDATED_POLICY).
+        world.email_providers = email_providers
+        boutique_hosts: Dict[str, PolicyHostProvider] = {}
+
+        deployed: Dict[str, DeployedDomain] = {}
+        plans: Dict[str, DomainPlan] = {}
+        for plan in self.all_plans():
+            if not plan.adopted_by_week(week):
+                continue
+            plans[plan.name] = plan
+            spec = self._spec_for(plan, week, month_index, world,
+                                  policy_providers, email_providers,
+                                  boutique_hosts)
+            domain = deploy_domain(world, spec)
+            for scheduled in plan.faults_at(month_index):
+                apply_fault(world, domain, scheduled.fault,
+                            mx_index=scheduled.mx_index)
+            deployed[plan.name] = domain
+        return MaterializedSnapshot(
+            month_index=month_index, instant=instant, world=world,
+            deployed=deployed, policy_providers=policy_providers,
+            email_providers=email_providers, plans=plans)
+
+    def _spec_for(self, plan: DomainPlan, week: int, month_index: int,
+                  world: World,
+                  policy_providers: Dict[str, PolicyHostProvider],
+                  email_providers: Dict[str, EmailProvider],
+                  boutique_hosts: Dict[str, PolicyHostProvider]
+                  ) -> DomainSpec:
+        email_provider = None
+        if plan.email_provider is not None:
+            email_provider = email_providers.get(plan.email_provider)
+            if email_provider is None:
+                email_provider = _flawed_provider(
+                    plan.email_provider, world, email_providers)
+                email_providers[plan.email_provider] = email_provider
+
+        policy_provider = None
+        if plan.policy_provider is not None:
+            policy_provider = policy_providers[plan.policy_provider]
+        elif plan.boutique_policy_host is not None:
+            policy_provider = boutique_hosts.get(plan.boutique_policy_host)
+            if policy_provider is None:
+                policy_provider = PolicyHostProvider(
+                    name=plan.boutique_policy_host,
+                    sld=plan.boutique_policy_host,
+                    cname_pattern="{dash}." + plan.boutique_policy_host,
+                    opt_out=OptOutBehavior.NXDOMAIN,
+                    delegate_via_cname=False)
+                boutique_hosts[plan.boutique_policy_host] = policy_provider
+
+        spec = DomainSpec(
+            domain=plan.name,
+            dns_provider_sld="dns-provider.net" if plan.dns_third_party else None,
+            email_provider=email_provider,
+            self_mx_count=plan.self_mx_count,
+            policy_provider=policy_provider,
+            record_id=f"id{plan.adoption_week:04d}",
+        )
+        spec.policy = Policy(
+            version="STSv1", mode=plan.mode, max_age=604800,
+            mx_patterns=tuple(spec.intended_mx()))
+        if plan.has_tlsrpt_at_week(week):
+            from repro.core.tlsrpt import TlsRptRecord
+            spec.tlsrpt = TlsRptRecord(
+                "TLSRPTv1", (f"mailto:tls-reports@{plan.name}",))
+        return spec
+
+
+_FLAWED_FAULTS = {
+    "mx-cert-cn-mismatch": Fault.MX_CERT_CN_MISMATCH,
+    "mx-cert-self-signed": Fault.MX_CERT_SELF_SIGNED,
+    "mx-cert-expired": Fault.MX_CERT_EXPIRED,
+}
+
+
+def _flawed_provider(name: str, world: World,
+                     email_providers: Dict[str, EmailProvider]
+                     ) -> EmailProvider:
+    """Build a broken MX *pool* inside a large named provider.
+
+    *name* looks like ``MxRouting!mx-cert-cn-mismatch-partial``: the
+    customers of this pool get MX hostnames under the base provider's
+    registrable domain (so entity classification still sees one popular
+    third party), but the pool's servers present broken certificates.
+    """
+    base_name, _, body = name.partition("!")
+    base = email_providers[base_name]
+    if body.endswith("-all"):
+        fault_key, all_mx = body[:-len("-all")], True
+    else:
+        fault_key, all_mx = body[:-len("-partial")], False
+    fault = _FLAWED_FAULTS[fault_key]
+    tag = fault_key.replace("mx-cert-", "").replace("-", "")
+    tag += "a" if all_mx else "p"
+    provider = EmailProvider(
+        name, base.sld,
+        mx_hostnames=[f"pool-{tag}1.{base.sld}", f"pool-{tag}2.{base.sld}"])
+    provider.deploy(world)
+
+    targets = provider.mx_hosts if all_mx else provider.mx_hosts[:1]
+    for host in targets:
+        if fault is Fault.MX_CERT_CN_MISMATCH:
+            cert = world.issue_cert([f"legacy.{base.sld}"])
+        elif fault is Fault.MX_CERT_EXPIRED:
+            cert = world.issue_cert([host.hostname], lifetime_days=90,
+                                    backdate_days=150)
+        else:
+            from repro.pki.certificate import CertTemplate, make_self_signed
+            cert = make_self_signed(CertTemplate([host.hostname]),
+                                    world.now())
+        host.tls.install(host.hostname, cert, default=True)
+    return provider

@@ -1,0 +1,206 @@
+"""Managing-entity classification (paper §4.3.1).
+
+Given one month's snapshots, classify who operates each domain's
+DNS, MX hosts, and policy server:
+
+* **Heuristic 1 (third party)** — an entity operating infrastructure
+  for at least ``third_party_min`` (default 50) distinct domains is a
+  provider.  Popularity is tallied over the registrable domain (eSLD)
+  of MX/NS hostnames *and* over server IP addresses, since some
+  providers give every customer a unique hostname on shared addresses.
+  The refinement for "popular but single administrator" groups
+  (mx.l.mxascen.com): when every domain behind a popular entity shares
+  one identical configuration signature (same MX set, same policy-host
+  addresses), the group is one administrator's self-hosted fleet.
+* **Heuristic 2 (self-managed)** — an NS or MX sharing the domain's
+  own eSLD is self-managed; a policy host serving at most
+  ``self_max`` (default 5) domains is self-managed.
+* Policy hosts reached via a CNAME pointing at a *different* eSLD are
+  third-party (that is what delegation is).
+
+Everything else stays :attr:`ManagingEntity.UNCLASSIFIED`, mirroring
+the paper's ~20% unclassifiable share.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.dns.name import DnsName, registrable_part
+from repro.errors import ManagingEntity
+from repro.measurement.snapshots import DomainSnapshot
+
+THIRD_PARTY_MIN = 50
+SELF_MAX = 5
+
+
+@dataclass
+class EntityVerdict:
+    """Who manages each component of one domain."""
+
+    domain: str
+    dns: ManagingEntity = ManagingEntity.UNCLASSIFIED
+    mx: ManagingEntity = ManagingEntity.UNCLASSIFIED
+    policy: ManagingEntity = ManagingEntity.UNCLASSIFIED
+    mx_provider_sld: str = ""
+    policy_provider_sld: str = ""
+
+    @property
+    def both_outsourced(self) -> bool:
+        return (self.mx is ManagingEntity.THIRD_PARTY
+                and self.policy is ManagingEntity.THIRD_PARTY)
+
+    @property
+    def same_provider(self) -> bool:
+        """Whether one provider manages both MX and policy hosting.
+
+        Per §4.5.1 the comparison uses the second label of the policy
+        host CNAME target versus the MX records' (``tutanota`` in both
+        ``mail.tutanota.de`` and ``mta-sts.tutanota.com``).
+        """
+        if not self.both_outsourced:
+            return False
+        if not self.mx_provider_sld or not self.policy_provider_sld:
+            return False
+        mx_label = self.mx_provider_sld.split(".")[0]
+        policy_label = self.policy_provider_sld.split(".")[0]
+        return mx_label == policy_label
+
+
+class EntityClassifier:
+    """Classifies one month's snapshot cross-section."""
+
+    def __init__(self, snapshots: List[DomainSnapshot],
+                 *, third_party_min: int = THIRD_PARTY_MIN,
+                 self_max: int = SELF_MAX):
+        self._snapshots = snapshots
+        self._third_min = third_party_min
+        self._self_max = self_max
+        self._mx_sld_domains: Dict[str, set] = defaultdict(set)
+        self._mx_ip_domains: Dict[str, set] = defaultdict(set)
+        self._ns_sld_domains: Dict[str, set] = defaultdict(set)
+        self._policy_ip_domains: Dict[str, set] = defaultdict(set)
+        self._group_signatures: Dict[str, set] = defaultdict(set)
+        self._tally()
+
+    def _tally(self) -> None:
+        for snap in self._snapshots:
+            for mx in snap.mx_hostnames:
+                sld = _esld(mx)
+                if sld:
+                    self._mx_sld_domains[sld].add(snap.domain)
+            for obs in snap.mx_observations:
+                for ip in obs.addresses:
+                    self._mx_ip_domains[ip].add(snap.domain)
+            for ns in snap.ns_hostnames:
+                sld = _esld(ns)
+                if sld:
+                    self._ns_sld_domains[sld].add(snap.domain)
+            for ip in snap.policy_host_addresses:
+                self._policy_ip_domains[ip].add(snap.domain)
+            signature = (tuple(sorted(snap.mx_hostnames)),
+                         tuple(sorted(snap.policy_host_addresses)),
+                         snap.policy_host_cname is not None)
+            for mx in snap.mx_hostnames:
+                sld = _esld(mx)
+                if sld:
+                    self._group_signatures[sld].add(signature)
+
+    # -- per-component verdicts -----------------------------------------------
+
+    def classify(self, snap: DomainSnapshot) -> EntityVerdict:
+        verdict = EntityVerdict(domain=snap.domain)
+        verdict.dns = self._classify_dns(snap)
+        verdict.mx, verdict.mx_provider_sld = self._classify_mx(snap)
+        verdict.policy, verdict.policy_provider_sld = \
+            self._classify_policy(snap)
+        return verdict
+
+    def classify_all(self) -> Dict[str, EntityVerdict]:
+        return {snap.domain: self.classify(snap)
+                for snap in self._snapshots}
+
+    def _classify_dns(self, snap: DomainSnapshot) -> ManagingEntity:
+        own = registrable_part(snap.domain)
+        slds = {_esld(ns) for ns in snap.ns_hostnames} - {""}
+        if not slds:
+            return ManagingEntity.UNCLASSIFIED
+        if own in slds:
+            return ManagingEntity.SELF_MANAGED
+        if any(len(self._ns_sld_domains[s]) >= self._third_min for s in slds):
+            return ManagingEntity.THIRD_PARTY
+        return ManagingEntity.UNCLASSIFIED
+
+    def _classify_mx(self, snap: DomainSnapshot):
+        own = registrable_part(snap.domain)
+        slds = sorted({_esld(mx) for mx in snap.mx_hostnames} - {""})
+        if not slds:
+            return ManagingEntity.UNCLASSIFIED, ""
+        # Heuristic 2: MX under the domain's own eSLD is self-managed.
+        if all(s == own for s in slds):
+            return ManagingEntity.SELF_MANAGED, ""
+        popular = [s for s in slds
+                   if len(self._mx_sld_domains[s]) >= self._third_min
+                   or self._ip_popularity(snap) >= self._third_min]
+        if popular:
+            sld = popular[0]
+            # The single-administrator refinement: one configuration
+            # signature across the entire popular group, and no CNAME
+            # delegation (genuine providers take policy hosting via
+            # CNAME; a lone admin's fleet points A records at itself).
+            signatures = self._group_signatures[sld]
+            if len(signatures) == 1 and not next(iter(signatures))[2]:
+                return ManagingEntity.SELF_MANAGED, ""
+            return ManagingEntity.THIRD_PARTY, sld
+        if all(len(self._mx_sld_domains[s]) <= self._self_max for s in slds):
+            return ManagingEntity.SELF_MANAGED, ""
+        return ManagingEntity.UNCLASSIFIED, ""
+
+    def _ip_popularity(self, snap: DomainSnapshot) -> int:
+        counts = [len(self._mx_ip_domains[ip])
+                  for obs in snap.mx_observations for ip in obs.addresses]
+        return max(counts, default=0)
+
+    def _classify_policy(self, snap: DomainSnapshot):
+        if not snap.sts_like:
+            return ManagingEntity.UNCLASSIFIED, ""
+        own = registrable_part(snap.domain)
+        if snap.policy_host_cname:
+            target_sld = _esld(snap.policy_host_cname)
+            if target_sld and target_sld != own:
+                return ManagingEntity.THIRD_PARTY, target_sld
+            return ManagingEntity.SELF_MANAGED, ""
+        if not snap.policy_host_addresses:
+            # Unresolvable policy host: judged by who runs the DNS zone
+            # content — an A record the owner forgot counts as self.
+            return ManagingEntity.SELF_MANAGED, ""
+        popularity = max(len(self._policy_ip_domains[ip])
+                         for ip in snap.policy_host_addresses)
+        if popularity >= self._third_min:
+            if self._shared_admin_policy_group(snap):
+                return ManagingEntity.SELF_MANAGED, ""
+            return ManagingEntity.THIRD_PARTY, ""
+        if popularity <= self._self_max:
+            return ManagingEntity.SELF_MANAGED, ""
+        return ManagingEntity.UNCLASSIFIED, ""
+
+    def _shared_admin_policy_group(self, snap: DomainSnapshot) -> bool:
+        """True when every domain on this policy IP shares one MX set."""
+        domains = set()
+        for ip in snap.policy_host_addresses:
+            domains |= self._policy_ip_domains[ip]
+        by_domain = {s.domain: s for s in self._snapshots}
+        signatures = {tuple(sorted(by_domain[d].mx_hostnames))
+                      for d in domains if d in by_domain}
+        return len(signatures) == 1
+
+
+def _esld(hostname: str) -> str:
+    name = DnsName.try_parse(hostname)
+    if name is None:
+        return ""
+    from repro.dns.name import effective_sld
+    sld = effective_sld(name)
+    return sld.text if sld is not None else name.text

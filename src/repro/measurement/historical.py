@@ -1,0 +1,75 @@
+"""Historical MX matching (paper Figure 9).
+
+Domains with a *complete domain mismatch* often are not misconfigured
+randomly: their policy still lists the MX hosts they used before a
+mail-server migration.  The analysis takes every currently mismatched
+domain and asks whether any earlier snapshot's MX records match the
+current policy's mx patterns; the paper finds a rising share (63% at
+the end) does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.matching import policy_covers_mx
+from repro.errors import MismatchClass
+from repro.measurement.inconsistency import classify_snapshot
+from repro.measurement.snapshots import DomainSnapshot, SnapshotStore
+
+
+@dataclass
+class HistoricalMatch:
+    domain: str
+    matched: bool
+    matched_month: int | None = None
+    historical_mx: tuple = ()
+
+
+def domain_mismatch_candidates(snapshots: List[DomainSnapshot]
+                               ) -> List[DomainSnapshot]:
+    """The Figure-9 universe: snapshots with complete-domain mismatches."""
+    out = []
+    for snap in snapshots:
+        verdict = classify_snapshot(snap)
+        if verdict.mismatch and verdict.mismatch_class is MismatchClass.DOMAIN:
+            out.append(snap)
+    return out
+
+
+def match_against_history(store: SnapshotStore,
+                          snap: DomainSnapshot) -> HistoricalMatch:
+    """Search earlier snapshots of *snap.domain* for MX records that the
+    current policy's patterns cover."""
+    for earlier in store.domain_history(snap.domain):
+        if earlier.month_index >= snap.month_index:
+            break
+        if not earlier.mx_hostnames:
+            continue
+        if any(policy_covers_mx(snap.mx_patterns, mx)
+               for mx in earlier.mx_hostnames):
+            return HistoricalMatch(snap.domain, True, earlier.month_index,
+                                   tuple(earlier.mx_hostnames))
+    return HistoricalMatch(snap.domain, False)
+
+
+def historical_match_rate(store: SnapshotStore, month_index: int) -> dict:
+    """One Figure-9 point: among month *month_index*'s domain-mismatch
+    population, the share explainable by obsolete MX records."""
+    month_snaps = store.month(month_index)
+    candidates = domain_mismatch_candidates(month_snaps)
+    matches = [match_against_history(store, snap) for snap in candidates]
+    matched = sum(1 for m in matches if m.matched)
+    return {
+        "month_index": month_index,
+        "candidates": len(candidates),
+        "matched": matched,
+        "percent": 100.0 * matched / len(candidates) if candidates else 0.0,
+    }
+
+
+def historical_series(store: SnapshotStore) -> List[dict]:
+    """Figure 9's full time series over every stored month."""
+    return [historical_match_rate(store, month)
+            for month in store.months()]

@@ -1,0 +1,101 @@
+"""Disclosure-campaign simulation (paper §4.7).
+
+The paper notified the ``postmaster@`` address of every misconfigured
+domain in the latest snapshot: 20,144 emails, of which more than 5,000
+bounced; after the campaign, 10% of the misconfigured domains had
+their issues resolved (not necessarily causally).  The simulation
+delivers notifications through the real simulated SMTP path — domains
+whose MX setup is broken enough genuinely bounce — and applies a
+remediation draw to the remainder.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ecosystem.world import World
+from repro.measurement.snapshots import DomainSnapshot
+from repro.smtp.delivery import DeliveryStatus, Message, SendingMta
+
+#: §4.7 anchors.
+BOUNCE_RATE_FLOOR = 5_000 / 20_144      # "more than 5,000 bounced"
+REMEDIATION_RATE = 0.10
+FEEDBACK_RESPONSES = 497
+FEEDBACK_HELPFUL = 341
+FEEDBACK_THANKS = 45
+
+
+@dataclass
+class NotificationResult:
+    domain: str
+    delivered: bool
+    bounce_reason: str = ""
+    remediated: bool = False
+
+
+@dataclass
+class CampaignReport:
+    notified: int = 0
+    bounced: int = 0
+    delivered: int = 0
+    remediated: int = 0
+    results: List[NotificationResult] = field(default_factory=list)
+
+    @property
+    def bounce_rate(self) -> float:
+        return self.bounced / self.notified if self.notified else 0.0
+
+    @property
+    def remediation_rate(self) -> float:
+        return self.remediated / self.notified if self.notified else 0.0
+
+
+class DisclosureCampaign:
+    """Sends postmaster notifications to misconfigured domains."""
+
+    def __init__(self, world: World, *, seed: int = 20241022,
+                 extra_bounce_rate: float = 0.12):
+        self._world = world
+        self._rng = random.Random(seed)
+        # Plenty of bounces in the wild come from full mailboxes, spam
+        # filtering, and missing postmaster aliases that the transport
+        # layer cannot see; they are modelled as an extra bounce draw.
+        self._extra_bounce_rate = extra_bounce_rate
+        self._mta = SendingMta(
+            "notify.netsecurelab.org", world.network, world.resolver,
+            world.trust_store, world.clock)
+
+    def notify(self, snapshot: DomainSnapshot) -> NotificationResult:
+        message = Message(
+            sender="research@netsecurelab.org",
+            recipient=f"postmaster@{snapshot.domain}",
+            body=("Your MTA-STS deployment appears misconfigured: "
+                  + ", ".join(snapshot.policy_syntax_errors)
+                  or snapshot.policy_fetch_stage or "see details"))
+        attempt = self._mta.send(message)
+        if not attempt.delivered:
+            return NotificationResult(snapshot.domain, False,
+                                      bounce_reason=attempt.status.value)
+        if self._rng.random() < self._extra_bounce_rate:
+            return NotificationResult(snapshot.domain, False,
+                                      bounce_reason="mailbox-level bounce")
+        return NotificationResult(snapshot.domain, True)
+
+    def run(self, misconfigured: List[DomainSnapshot]) -> CampaignReport:
+        report = CampaignReport(notified=len(misconfigured))
+        for snapshot in misconfigured:
+            result = self.notify(snapshot)
+            if result.delivered:
+                report.delivered += 1
+                # Post-notification remediation (10% overall, §4.7) —
+                # conditioned on the mail actually arriving.
+                if self._rng.random() < REMEDIATION_RATE / (
+                        1 - BOUNCE_RATE_FLOOR):
+                    result.remediated = True
+                    report.remediated += 1
+            else:
+                report.bounced += 1
+            report.results.append(result)
+        return report

@@ -1,0 +1,124 @@
+"""The scan pipeline (paper §4.1).
+
+Given a live world (usually a materialised timeline snapshot), the
+:class:`Scanner` performs, for every target domain, the same steps the
+paper's monthly component scans performed:
+
+1. DNS scan: ``_mta-sts`` TXT, MX, NS, apex A, policy-host CNAME/A,
+   ``_smtp._tls`` TXT;
+2. policy retrieval over HTTPS with staged error classification;
+3. the instrumented SMTP probe of every MX host.
+
+The output is a :class:`~repro.measurement.snapshots.DomainSnapshot`
+per domain, appended to a :class:`SnapshotStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.clock import Instant
+from repro.core.fetch import PolicyFetcher
+from repro.core.tlsrpt import lookup_tlsrpt
+from repro.dns.name import DnsName
+from repro.dns.records import RRType
+from repro.dns.resolver import Resolver
+from repro.ecosystem.world import World
+from repro.measurement.snapshots import (
+    DomainSnapshot, MxObservation, SnapshotStore,
+)
+from repro.smtp.client import SmtpProbe
+
+
+class Scanner:
+    """Scans domains in one world into snapshot records."""
+
+    def __init__(self, world: World):
+        self._world = world
+        self._resolver: Resolver = world.resolver
+        self._fetcher = PolicyFetcher(world.resolver, world.https_client)
+        self._probe: SmtpProbe = world.smtp_probe
+
+    def scan_domain(self, domain: str, month_index: int,
+                    instant: Optional[Instant] = None) -> DomainSnapshot:
+        domain = domain.lower().rstrip(".")
+        snapshot = DomainSnapshot(
+            domain=domain, tld=domain.rsplit(".", 1)[-1],
+            month_index=month_index,
+            instant=instant or self._world.now())
+
+        self._scan_dns(snapshot)
+        self._scan_policy(snapshot)
+        self._scan_mx(snapshot)
+        return snapshot
+
+    def scan_all(self, domains: Iterable[str], month_index: int,
+                 store: Optional[SnapshotStore] = None) -> SnapshotStore:
+        store = store if store is not None else SnapshotStore()
+        for domain in domains:
+            store.add(self.scan_domain(domain, month_index))
+        return store
+
+    # -- stages -------------------------------------------------------------
+
+    def _scan_dns(self, snapshot: DomainSnapshot) -> None:
+        domain = snapshot.domain
+        ns = self._resolver.try_resolve(domain, RRType.NS)
+        if ns is not None:
+            snapshot.ns_hostnames = sorted(
+                r.nsdname.text for r in ns.records)   # type: ignore[attr-defined]
+        apex_a = self._resolver.try_resolve(domain, RRType.A)
+        if apex_a is not None:
+            snapshot.apex_addresses = sorted(
+                r.address.text for r in apex_a.records)  # type: ignore[attr-defined]
+        mx = self._resolver.try_resolve(domain, RRType.MX)
+        if mx is not None:
+            records = sorted(mx.records,
+                             key=lambda r: (r.preference, r.exchange.text))  # type: ignore[attr-defined]
+            snapshot.mx_hostnames = [r.exchange.text for r in records]  # type: ignore[attr-defined]
+        snapshot.tlsrpt_present = (
+            lookup_tlsrpt(self._resolver, domain) is not None)
+
+    def _scan_policy(self, snapshot: DomainSnapshot) -> None:
+        result = self._fetcher.fetch_policy(snapshot.domain)
+        snapshot.txt_strings = result.txt_strings
+        snapshot.sts_like = result.sts_enabled
+        snapshot.record_valid = result.record is not None
+        if result.record is not None:
+            snapshot.record_id = result.record.id
+        if result.record_error is not None:
+            snapshot.record_error = result.record_error.value
+        if not result.sts_enabled:
+            return
+
+        snapshot.policy_host_cname = result.policy_host_cname
+        if result.fetch is not None:
+            snapshot.policy_host_addresses = [
+                ip.text for ip in result.fetch.resolved_ips]
+            snapshot.policy_http_status = result.fetch.status
+            if result.fetch.tls_failure is not None:
+                snapshot.policy_tls_failure = result.fetch.tls_failure.value
+        stage = result.failed_stage
+        snapshot.policy_fetch_stage = stage.value if stage else None
+        if result.policy_check is not None:
+            snapshot.policy_syntax_errors = [
+                e.value for e in result.policy_check.errors]
+        if result.policy is not None:
+            snapshot.policy_mode = result.policy.mode.value
+            snapshot.policy_max_age = result.policy.max_age
+            snapshot.mx_patterns = list(result.policy.mx_patterns)
+
+    def _scan_mx(self, snapshot: DomainSnapshot) -> None:
+        for hostname in snapshot.mx_hostnames:
+            observation = MxObservation(hostname=hostname)
+            answer = self._resolver.try_resolve(hostname, RRType.A)
+            if answer is not None:
+                observation.addresses = sorted(
+                    r.address.text for r in answer.records)  # type: ignore[attr-defined]
+            probe = self._probe.probe_host(hostname)
+            observation.reachable = probe.reachable
+            observation.starttls = probe.starttls_offered
+            observation.tls_established = probe.tls_established
+            observation.cert_valid = probe.cert_valid
+            observation.failure_class = probe.failure_class()
+            snapshot.mx_observations.append(observation)

@@ -1,0 +1,140 @@
+"""The scan dataset schema.
+
+A :class:`DomainSnapshot` is one domain's complete observation at one
+scan instant — exactly the fields the paper's pipeline stores: the raw
+TXT strings, MX/NS/A records, the policy host's CNAME and addresses,
+the staged policy-fetch outcome, the parsed policy, and the per-MX
+STARTTLS/certificate verdicts.  The :class:`SnapshotStore` indexes
+snapshots by month and by domain, which is all the longitudinal
+analyses (Figures 4-10) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.clock import Instant
+from repro.errors import MisconfigCategory, PolicyFetchStage
+
+
+@dataclass
+class MxObservation:
+    """One MX host's probe outcome inside a snapshot."""
+
+    hostname: str
+    addresses: List[str] = field(default_factory=list)
+    reachable: bool = False
+    starttls: bool = False
+    tls_established: bool = False
+    cert_valid: bool = False
+    failure_class: str = ""       # valid | cn-mismatch | self-signed | ...
+
+
+@dataclass
+class DomainSnapshot:
+    """One domain, one scan month."""
+
+    domain: str
+    tld: str
+    month_index: int
+    instant: Instant
+
+    # DNS stage
+    txt_strings: List[str] = field(default_factory=list)
+    sts_like: bool = False
+    record_valid: bool = False
+    record_error: str = ""
+    record_id: str = ""
+    ns_hostnames: List[str] = field(default_factory=list)
+    apex_addresses: List[str] = field(default_factory=list)
+    mx_hostnames: List[str] = field(default_factory=list)
+    tlsrpt_present: bool = False
+
+    # policy host stage
+    policy_host_cname: Optional[str] = None
+    policy_host_addresses: List[str] = field(default_factory=list)
+    policy_fetch_stage: Optional[str] = None   # failed stage, None = ok
+    policy_tls_failure: str = ""
+    policy_http_status: Optional[int] = None
+    policy_syntax_errors: List[str] = field(default_factory=list)
+    policy_mode: str = ""
+    policy_max_age: Optional[int] = None
+    mx_patterns: List[str] = field(default_factory=list)
+
+    # MX probing stage
+    mx_observations: List[MxObservation] = field(default_factory=list)
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def policy_retrieval_ok(self) -> bool:
+        return self.policy_fetch_stage is None and bool(self.mx_patterns)
+
+    @property
+    def policy_ok(self) -> bool:
+        return (self.policy_fetch_stage is None
+                and not self.policy_syntax_errors)
+
+    @property
+    def mx_tls_capable(self) -> List[MxObservation]:
+        return [o for o in self.mx_observations if o.tls_established]
+
+    @property
+    def any_invalid_mx_cert(self) -> bool:
+        return any(not o.cert_valid for o in self.mx_tls_capable)
+
+    @property
+    def all_invalid_mx_cert(self) -> bool:
+        capable = self.mx_tls_capable
+        return bool(capable) and all(not o.cert_valid for o in capable)
+
+    @property
+    def consistent(self) -> bool:
+        """At least one actual MX matches the policy's mx patterns."""
+        from repro.core.matching import policy_covers_mx
+        if not self.policy_ok or not self.mx_hostnames or not self.mx_patterns:
+            return True
+        return any(policy_covers_mx(self.mx_patterns, mx)
+                   for mx in self.mx_hostnames)
+
+    @property
+    def enforce_mode(self) -> bool:
+        return self.policy_mode == "enforce"
+
+
+class SnapshotStore:
+    """All snapshots of one measurement campaign."""
+
+    def __init__(self):
+        self._by_key: Dict[Tuple[int, str], DomainSnapshot] = {}
+        self._months: set[int] = set()
+
+    def add(self, snapshot: DomainSnapshot) -> None:
+        self._by_key[(snapshot.month_index, snapshot.domain)] = snapshot
+        self._months.add(snapshot.month_index)
+
+    def months(self) -> List[int]:
+        return sorted(self._months)
+
+    def month(self, month_index: int) -> List[DomainSnapshot]:
+        return [snap for (m, _), snap in sorted(self._by_key.items())
+                if m == month_index]
+
+    def get(self, month_index: int, domain: str) -> Optional[DomainSnapshot]:
+        return self._by_key.get((month_index, domain))
+
+    def domain_history(self, domain: str) -> List[DomainSnapshot]:
+        return [snap for (m, d), snap in sorted(self._by_key.items())
+                if d == domain]
+
+    def latest_month(self) -> int:
+        if not self._months:
+            raise ValueError("store is empty")
+        return max(self._months)
+
+    def latest(self) -> List[DomainSnapshot]:
+        return self.month(self.latest_month())
+
+    def __len__(self) -> int:
+        return len(self._by_key)

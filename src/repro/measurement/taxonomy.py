@@ -1,0 +1,147 @@
+"""Folding snapshots into the paper's error taxonomy.
+
+:func:`categorize` maps one domain snapshot onto the four Figure-4
+categories; :func:`snapshot_summary` aggregates one month's
+cross-section into every count the paper reports for a snapshot —
+the inputs to Figures 4, 5, 6 and 7.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.matching import policy_covers_mx
+from repro.errors import ManagingEntity, MisconfigCategory
+from repro.measurement.classify import EntityClassifier, EntityVerdict
+from repro.measurement.snapshots import DomainSnapshot
+
+
+def categorize(snap: DomainSnapshot) -> List[MisconfigCategory]:
+    """The Figure-4 categories one snapshot falls into (not exclusive)."""
+    categories: List[MisconfigCategory] = []
+    if not snap.sts_like:
+        return categories
+    if not snap.record_valid:
+        categories.append(MisconfigCategory.DNS_RECORD)
+    if snap.policy_fetch_stage is not None or snap.policy_syntax_errors:
+        categories.append(MisconfigCategory.POLICY_RETRIEVAL)
+    if snap.any_invalid_mx_cert:
+        categories.append(MisconfigCategory.MX_CERTIFICATE)
+    if not snap.consistent:
+        categories.append(MisconfigCategory.INCONSISTENCY)
+    return categories
+
+
+def delivery_failure_expected(snap: DomainSnapshot) -> bool:
+    """Would an RFC 8461-compliant sender fail to deliver? (§4's 3.2%)."""
+    if not snap.enforce_mode or not snap.policy_ok:
+        return False
+    if not snap.mx_hostnames:
+        return False
+    matching = [mx for mx in snap.mx_hostnames
+                if policy_covers_mx(snap.mx_patterns, mx)]
+    if not matching:
+        return True
+    observed = {o.hostname: o for o in snap.mx_observations}
+    verdicts = [observed[mx] for mx in matching if mx in observed]
+    usable = [v for v in verdicts if v.tls_established]
+    return bool(usable) and all(not v.cert_valid for v in usable)
+
+
+@dataclass
+class SnapshotSummary:
+    """Every per-month aggregate the paper's figures use."""
+
+    month_index: int
+    total_sts: int = 0
+    misconfigured: int = 0
+    delivery_failures: int = 0
+    category_counts: Counter = field(default_factory=Counter)
+    # Figure 5: policy errors by stage x entity
+    policy_errors_by_entity: Dict[str, Counter] = field(
+        default_factory=lambda: {"self-managed": Counter(),
+                                 "third-party": Counter(),
+                                 "unclassified": Counter()})
+    policy_entity_totals: Counter = field(default_factory=Counter)
+    # Figure 6: MX cert failure classes x entity
+    mx_cert_by_entity: Dict[str, Counter] = field(
+        default_factory=lambda: {"self-managed": Counter(),
+                                 "third-party": Counter(),
+                                 "unclassified": Counter()})
+    mx_entity_totals: Counter = field(default_factory=Counter)
+    mx_invalid_by_entity: Counter = field(default_factory=Counter)
+    # Figure 7
+    all_invalid_mx: int = 0
+    partially_invalid_mx: int = 0
+    enforce_invalid_mx: int = 0
+    # Figure 8 precursor: inconsistent domains and their modes
+    inconsistent: int = 0
+    enforce_inconsistent: int = 0
+
+    def misconfigured_percent(self) -> float:
+        return 100.0 * self.misconfigured / self.total_sts if self.total_sts else 0.0
+
+    def category_percent(self, category: MisconfigCategory) -> float:
+        if not self.total_sts:
+            return 0.0
+        return 100.0 * self.category_counts[category.value] / self.total_sts
+
+
+def snapshot_summary(snapshots: List[DomainSnapshot],
+                     verdicts: Optional[Dict[str, EntityVerdict]] = None
+                     ) -> SnapshotSummary:
+    """Aggregate one month's snapshots (optionally with entity verdicts)."""
+    sts = [s for s in snapshots if s.sts_like]
+    month = snapshots[0].month_index if snapshots else 0
+    summary = SnapshotSummary(month_index=month, total_sts=len(sts))
+    if verdicts is None:
+        verdicts = EntityClassifier(snapshots).classify_all()
+
+    for snap in sts:
+        verdict = verdicts.get(snap.domain, EntityVerdict(snap.domain))
+        categories = categorize(snap)
+        if categories:
+            summary.misconfigured += 1
+        for category in categories:
+            summary.category_counts[category.value] += 1
+        if delivery_failure_expected(snap):
+            summary.delivery_failures += 1
+
+        # Figure 5 breakdown
+        policy_entity = _entity_key(verdict.policy)
+        summary.policy_entity_totals[policy_entity] += 1
+        if snap.policy_fetch_stage is not None:
+            summary.policy_errors_by_entity[policy_entity][
+                snap.policy_fetch_stage] += 1
+        elif snap.policy_syntax_errors:
+            summary.policy_errors_by_entity[policy_entity]["policy-syntax"] += 1
+
+        # Figures 6/7
+        mx_entity = _entity_key(verdict.mx)
+        summary.mx_entity_totals[mx_entity] += 1
+        if snap.any_invalid_mx_cert:
+            summary.mx_invalid_by_entity[mx_entity] += 1
+            classes = {o.failure_class for o in snap.mx_tls_capable
+                       if not o.cert_valid}
+            for failure_class in classes:
+                summary.mx_cert_by_entity[mx_entity][failure_class] += 1
+            if snap.all_invalid_mx_cert:
+                summary.all_invalid_mx += 1
+            else:
+                summary.partially_invalid_mx += 1
+            if snap.enforce_mode and snap.all_invalid_mx_cert:
+                summary.enforce_invalid_mx += 1
+
+        if not snap.consistent:
+            summary.inconsistent += 1
+            if snap.enforce_mode:
+                summary.enforce_inconsistent += 1
+    return summary
+
+
+def _entity_key(entity: ManagingEntity) -> str:
+    return {ManagingEntity.SELF_MANAGED: "self-managed",
+            ManagingEntity.THIRD_PARTY: "third-party",
+            ManagingEntity.UNCLASSIFIED: "unclassified"}[entity]

@@ -1,0 +1,74 @@
+"""Zone-file export and DNS-only auditing.
+
+The paper's raw inputs are TLD zone files; this module closes the loop
+in the other direction: it exports a simulated world's authoritative
+data back to RFC-1035 master files (the exact format
+:func:`repro.dns.zone.parse_master_file` ingests) and runs the offline
+assessment over an exported corpus.  This provides both a
+serialisation path for sharing synthetic datasets and an end-to-end
+consistency check: everything the simulation serves must survive a
+round trip through its own parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dns.name import DnsName
+from repro.dns.zone import Zone, parse_master_file, serialize_zone
+from repro.ecosystem.world import World
+from repro.measurement.offline import OfflineAssessment, assess_zone
+
+
+def export_world_zones(world: World) -> Dict[str, str]:
+    """Serialise every zone hosted in *world* to master-file text,
+    keyed by apex name."""
+    out: Dict[str, str] = {}
+    for apex, server in sorted(world._domain_servers.items()):
+        zone = server.zone_for(DnsName.parse(apex))
+        if zone is not None and zone.record_count():
+            out[apex] = serialize_zone(zone)
+    return out
+
+
+def reimport_zones(zone_texts: Dict[str, str]) -> Dict[str, Zone]:
+    """Parse exported zone files back into :class:`Zone` objects."""
+    return {apex: parse_master_file(text)
+            for apex, text in zone_texts.items()}
+
+
+@dataclass
+class CorpusAuditResult:
+    """DNS-only audit over an exported corpus."""
+
+    assessed: int = 0
+    with_record_errors: int = 0
+    with_policy_host_errors: int = 0
+    assessments: List[OfflineAssessment] = field(default_factory=list)
+
+
+def audit_zone_corpus(zone_texts: Dict[str, str],
+                      domains: Optional[List[str]] = None
+                      ) -> CorpusAuditResult:
+    """Run the offline (DNS-side) assessment across a zone corpus.
+
+    *domains* defaults to every zone apex that carries an ``_mta-sts``
+    TXT record — the corpus's MTA-STS population.
+    """
+    result = CorpusAuditResult()
+    if domains is None:
+        domains = [apex for apex, text in zone_texts.items()
+                   if "_mta-sts" in text]
+    for domain in domains:
+        text = zone_texts.get(domain)
+        if text is None:
+            continue
+        assessment = assess_zone(text, domain)
+        result.assessed += 1
+        result.assessments.append(assessment)
+        if any(f.component == "record" for f in assessment.errors):
+            result.with_record_errors += 1
+        if any(f.component == "policy-host" for f in assessment.errors):
+            result.with_policy_host_errors += 1
+    return result

@@ -1,0 +1,6 @@
+"""The simulated internet: IP addressing and TCP-level reachability."""
+
+from repro.netsim.ip import IpAddress, IpPool
+from repro.netsim.network import Network, TcpBehavior, Listener
+
+__all__ = ["IpAddress", "IpPool", "Network", "TcpBehavior", "Listener"]

@@ -1,0 +1,111 @@
+"""TCP-level reachability for the simulated internet.
+
+The :class:`Network` is the single rendezvous object shared by every
+simulated host.  Servers (authoritative DNS, HTTPS policy hosts, SMTP
+MX hosts) register a :class:`Listener` on an ``(ip, port)`` endpoint;
+clients call :meth:`Network.connect` and either receive the listener's
+application object or a transport exception that mirrors what a real
+scanner would see: connection refused (no listener / closed port) or a
+timeout (firewalled or blackholed host).
+
+This layer is what lets the measurement pipeline distinguish the
+paper's "TCP errors" (closed ports, connection timeouts — Figure 5)
+from everything else.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.errors import ConnectionRefused, ConnectionTimeout, HostUnreachable
+from repro.netsim.ip import IpAddress
+
+
+class TcpBehavior(enum.Enum):
+    """How an endpoint responds to a connection attempt."""
+
+    ACCEPT = "accept"
+    REFUSE = "refuse"      # RST: port closed
+    TIMEOUT = "timeout"    # SYN blackholed: firewall drop
+
+
+@dataclass
+class Listener:
+    """A registered service endpoint."""
+
+    ip: IpAddress
+    port: int
+    app: Any
+    behavior: TcpBehavior = TcpBehavior.ACCEPT
+    description: str = ""
+
+
+class Network:
+    """The shared fabric connecting all simulated hosts."""
+
+    def __init__(self):
+        self._listeners: Dict[Tuple[str, int], Listener] = {}
+        self._known_hosts: set[str] = set()
+        self.connect_count = 0
+
+    # -- server side --------------------------------------------------
+
+    def register(self, ip: IpAddress, port: int, app: Any, *,
+                 behavior: TcpBehavior = TcpBehavior.ACCEPT,
+                 description: str = "") -> Listener:
+        """Bind *app* to ``ip:port``.  Re-binding replaces the listener."""
+        listener = Listener(ip, port, app, behavior, description)
+        self._listeners[(ip.text, port)] = listener
+        self._known_hosts.add(ip.text)
+        return listener
+
+    def unregister(self, ip: IpAddress, port: int) -> None:
+        self._listeners.pop((ip.text, port), None)
+
+    def register_host(self, ip: IpAddress) -> None:
+        """Mark an IP as allocated even if nothing listens on it yet.
+
+        Connecting to an allocated host with no listener on the port is
+        a *refused* connection; connecting to an unallocated IP is a
+        *timeout* (nothing answers at all).
+        """
+        self._known_hosts.add(ip.text)
+
+    def set_behavior(self, ip: IpAddress, port: int,
+                     behavior: TcpBehavior) -> None:
+        key = (ip.text, port)
+        if key not in self._listeners:
+            raise KeyError(f"no listener on {ip}:{port}")
+        self._listeners[key].behavior = behavior
+
+    # -- client side --------------------------------------------------
+
+    def connect(self, ip: IpAddress, port: int) -> Any:
+        """Attempt a TCP connection; return the application object.
+
+        Raises
+        ------
+        ConnectionTimeout
+            The IP is unallocated, or the listener blackholes SYNs.
+        ConnectionRefused
+            The host exists but nothing accepts on this port.
+        """
+        self.connect_count += 1
+        listener = self._listeners.get((ip.text, port))
+        if listener is None:
+            if ip.text in self._known_hosts:
+                raise ConnectionRefused(f"{ip}:{port} refused")
+            raise ConnectionTimeout(f"{ip}:{port} timed out")
+        if listener.behavior is TcpBehavior.REFUSE:
+            raise ConnectionRefused(f"{ip}:{port} refused")
+        if listener.behavior is TcpBehavior.TIMEOUT:
+            raise ConnectionTimeout(f"{ip}:{port} timed out")
+        return listener.app
+
+    def listener_at(self, ip: IpAddress, port: int) -> Listener | None:
+        return self._listeners.get((ip.text, port))
+
+    def endpoints(self) -> list[Tuple[str, int]]:
+        return sorted(self._listeners)

@@ -1,0 +1,17 @@
+"""Simulated web PKI: keys, certificates, CAs, PKIX validation, ACME."""
+
+from repro.pki.keys import KeyPair
+from repro.pki.certificate import Certificate, CertTemplate
+from repro.pki.ca import CertificateAuthority, TrustStore
+from repro.pki.validation import (
+    validate_chain, verify_hostname, ValidationResult, classify_failure,
+)
+from repro.pki.acme import AcmeService, AcmeChallengeError
+
+__all__ = [
+    "KeyPair", "Certificate", "CertTemplate",
+    "CertificateAuthority", "TrustStore",
+    "validate_chain", "verify_hostname", "ValidationResult",
+    "classify_failure",
+    "AcmeService", "AcmeChallengeError",
+]

@@ -1,0 +1,117 @@
+"""PKIX validation and failure classification.
+
+:func:`validate_chain` reproduces the decisions the paper's scanner
+makes about every certificate it retrieves — from policy servers
+(Figure 5's TLS bar) and MX hosts (Figure 6) — and
+:func:`classify_failure` maps each outcome onto the paper's reported
+error classes: Common Name / SAN mismatch, self-signed, expired, and
+missing/untrusted certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.clock import Instant
+from repro.dns.name import DnsName
+from repro.errors import TlsFailure
+from repro.pki.ca import TrustStore
+from repro.pki.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of PKIX validation of one presented certificate."""
+
+    valid: bool
+    failure: Optional[TlsFailure] = None
+    detail: str = ""
+
+    @classmethod
+    def ok(cls) -> "ValidationResult":
+        return cls(True)
+
+    @classmethod
+    def fail(cls, failure: TlsFailure, detail: str = "") -> "ValidationResult":
+        return cls(False, failure, detail)
+
+
+def verify_hostname(cert: Certificate,
+                    hostname: str | DnsName) -> ValidationResult:
+    """Check only the name binding (CN/SAN coverage)."""
+    if cert.covers_hostname(hostname):
+        return ValidationResult.ok()
+    host = hostname.text if isinstance(hostname, DnsName) else hostname
+    return ValidationResult.fail(
+        TlsFailure.HOSTNAME_MISMATCH,
+        f"certificate names {cert.san or (cert.subject_cn,)} "
+        f"do not cover {host}")
+
+
+def validate_chain(cert: Optional[Certificate],
+                   hostname: str | DnsName,
+                   trust_store: TrustStore,
+                   now: Instant) -> ValidationResult:
+    """Full PKIX validation of a presented leaf certificate.
+
+    Check order mirrors what scanners observe in practice: missing
+    certificate, then trust (self-signed vs unknown issuer), then
+    validity window, then revocation, then hostname.  The first failure
+    wins — the same convention the paper uses when attributing each
+    domain to a single TLS error class.
+    """
+    if cert is None:
+        return ValidationResult.fail(
+            TlsFailure.NO_CERTIFICATE, "server presented no certificate")
+
+    if cert.self_signed:
+        if not trust_store.is_trusted_root(cert):
+            return ValidationResult.fail(
+                TlsFailure.SELF_SIGNED,
+                f"self-signed certificate for {cert.subject_cn}")
+    else:
+        issuer = trust_store.find_issuer(cert)
+        if issuer is None:
+            return ValidationResult.fail(
+                TlsFailure.UNTRUSTED_ROOT,
+                f"issuer {cert.issuer_cn!r} is not a trusted root")
+        if not cert.signature_valid():
+            return ValidationResult.fail(
+                TlsFailure.HANDSHAKE_ALERT,
+                "certificate signature does not verify")
+        if not issuer.valid_at(now):
+            return ValidationResult.fail(
+                TlsFailure.UNTRUSTED_ROOT, "issuing root expired")
+
+    if now < cert.not_before:
+        return ValidationResult.fail(
+            TlsFailure.NOT_YET_VALID,
+            f"certificate not valid before {cert.not_before}")
+    if now > cert.not_after:
+        return ValidationResult.fail(
+            TlsFailure.EXPIRED,
+            f"certificate expired at {cert.not_after}")
+    if cert.revoked:
+        return ValidationResult.fail(TlsFailure.REVOKED, "certificate revoked")
+
+    return verify_hostname(cert, hostname)
+
+
+def classify_failure(result: ValidationResult) -> str:
+    """Map a validation failure to the paper's reporting buckets."""
+    if result.valid:
+        return "valid"
+    mapping = {
+        TlsFailure.HOSTNAME_MISMATCH: "cn-mismatch",
+        TlsFailure.SELF_SIGNED: "self-signed",
+        TlsFailure.UNTRUSTED_ROOT: "self-signed",   # untrusted ≅ private PKI
+        TlsFailure.EXPIRED: "expired",
+        TlsFailure.NOT_YET_VALID: "expired",
+        TlsFailure.NO_CERTIFICATE: "no-certificate",
+        TlsFailure.REVOKED: "revoked",
+        TlsFailure.HANDSHAKE_ALERT: "handshake-alert",
+        TlsFailure.NO_TLS_SUPPORT: "no-tls",
+    }
+    assert result.failure is not None
+    return mapping[result.failure]

@@ -1,0 +1,15 @@
+"""Simulated SMTP: MX hosts, an instrumented scanner, and mail delivery."""
+
+from repro.smtp.server import MxHost, SMTP_PORT, EhloResponse
+from repro.smtp.client import SmtpProbe, ProbeResult
+from repro.smtp.delivery import (
+    DeliveryAttempt, DeliveryStatus, Message, SendingMta,
+)
+from repro.smtp.queue import MailQueue, QueueEntry, QueueOutcome
+
+__all__ = [
+    "MxHost", "SMTP_PORT", "EhloResponse",
+    "SmtpProbe", "ProbeResult",
+    "DeliveryAttempt", "DeliveryStatus", "Message", "SendingMta",
+    "MailQueue", "QueueEntry", "QueueOutcome",
+]

@@ -1,0 +1,171 @@
+"""The instrumented SMTP scanning client (paper §4.1).
+
+The probe reproduces the paper's measurement steps exactly:
+
+(a) connect from a host with forward-confirmed reverse DNS;
+(b) EHLO with a name matching that reverse DNS, falling back to HELO
+    when EHLO is unsupported, and note whether STARTTLS is offered;
+(c) issue STARTTLS and retrieve the server certificate (without
+    aborting on validation failure — the certificate is analysed
+    offline);
+(d) close without delivering mail.
+
+The :class:`ProbeResult` carries both the raw certificate and its
+offline PKIX verdict so the measurement layer can build Figures 6/7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clock import Clock
+from repro.dns.name import DnsName
+from repro.dns.records import RRType
+from repro.dns.resolver import Resolver
+from repro.errors import (
+    ConnectionRefused, ConnectionTimeout, DnsError, TlsError, TlsFailure,
+)
+from repro.netsim.ip import IpAddress
+from repro.netsim.network import Network
+from repro.pki.ca import TrustStore
+from repro.pki.certificate import Certificate
+from repro.pki.validation import ValidationResult, classify_failure, validate_chain
+from repro.smtp.server import (
+    SMTP_PORT, MxHost, speaks_smtp as _speaks_smtp,
+)
+from repro.tls.handshake import handshake
+
+
+@dataclass
+class ProbeResult:
+    """Everything one STARTTLS probe of one MX host learned."""
+
+    mx_hostname: str
+    reachable: bool = False
+    ehlo_code: Optional[int] = None
+    used_helo_fallback: bool = False
+    starttls_offered: bool = False
+    greylisted: bool = False
+    certificate: Optional[Certificate] = None
+    tls_failure: Optional[TlsFailure] = None
+    validation: Optional[ValidationResult] = None
+    detail: str = ""
+
+    @property
+    def tls_established(self) -> bool:
+        return self.certificate is not None
+
+    @property
+    def cert_valid(self) -> bool:
+        return self.validation is not None and self.validation.valid
+
+    def failure_class(self) -> str:
+        """The paper's per-MX error bucket (valid/cn-mismatch/...)."""
+        if not self.reachable:
+            return "unreachable"
+        if not self.starttls_offered:
+            return "no-starttls"
+        if self.tls_failure is not None and self.certificate is None:
+            return "tls-" + self.tls_failure.value
+        if self.validation is None:
+            return "not-validated"
+        return classify_failure(self.validation)
+
+
+class SmtpProbe:
+    """Scans MX hosts over the simulated network."""
+
+    def __init__(self, network: Network, resolver: Resolver,
+                 trust_store: TrustStore, clock: Clock,
+                 *, client_name: str = "scanner.netsecurelab.org",
+                 client_ip: IpAddress | None = None,
+                 retry_greylist: bool = True):
+        self._network = network
+        self._resolver = resolver
+        self._trust_store = trust_store
+        self._clock = clock
+        self.client_name = client_name
+        #: The scanner's own address; with forward and PTR records
+        #: published for (client_name, client_ip) the probe satisfies
+        #: FCrDNS-checking MTAs, per the §4.1 methodology.
+        self.client_ip = client_ip
+        self.retry_greylist = retry_greylist
+
+    def probe_host(self, mx_hostname: str | DnsName) -> ProbeResult:
+        """Probe one MX hostname: resolve, connect, EHLO, STARTTLS."""
+        name_text = (mx_hostname.text if isinstance(mx_hostname, DnsName)
+                     else mx_hostname).lower().rstrip(".")
+        result = ProbeResult(mx_hostname=name_text)
+
+        try:
+            name = DnsName.parse(name_text)
+            addresses = self._resolver.resolve_address(name)
+        except (ValueError, DnsError) as exc:
+            result.detail = f"dns: {exc}"
+            return result
+
+        server = None
+        for address in addresses:
+            try:
+                server = self._network.connect(address, SMTP_PORT)
+                break
+            except (ConnectionRefused, ConnectionTimeout) as exc:
+                result.detail = f"tcp: {exc}"
+        if not _speaks_smtp(server):
+            return result
+        result.reachable = True
+
+        server.greet()
+        ehlo = server.ehlo(self.client_name, self.client_ip)
+        if ehlo.code == 451:
+            result.greylisted = True
+            if not self.retry_greylist:
+                result.ehlo_code = ehlo.code
+                result.detail = "greylisted"
+                return result
+            # retry after greylist
+            ehlo = server.ehlo(self.client_name, self.client_ip)
+        if ehlo.code == 554:
+            result.ehlo_code = ehlo.code
+            result.detail = "rejected (FCrDNS policy)"
+            return result
+        if ehlo.code == 502:
+            result.used_helo_fallback = True
+            ehlo = server.helo(self.client_name)
+        result.ehlo_code = ehlo.code
+        result.starttls_offered = ehlo.starttls_offered
+        if not ehlo.starttls_offered:
+            result.detail = "starttls not offered"
+            return result
+
+        # STARTTLS: retrieve the certificate without inline validation,
+        # then validate offline (the scanner never aborts on a bad cert).
+        try:
+            session = handshake(server.starttls_endpoint(), name_text)
+        except TlsError as exc:
+            result.tls_failure = exc.failure
+            result.detail = str(exc)
+            return result
+        result.certificate = session.certificate
+        result.validation = validate_chain(
+            session.certificate, name_text, self._trust_store,
+            self._clock.now())
+        return result
+
+    def probe_domain(self, domain: str | DnsName) -> list[ProbeResult]:
+        """Probe every MX of *domain* (or its apex A record fallback)."""
+        if isinstance(domain, str):
+            domain = DnsName.parse(domain)
+        mx_answer = self._resolver.try_resolve(domain, RRType.MX)
+        hostnames: list[str] = []
+        if mx_answer is not None:
+            records = sorted(mx_answer.records,
+                             key=lambda r: (r.preference, r.exchange.text))  # type: ignore[attr-defined]
+            hostnames = [r.exchange.text for r in records]  # type: ignore[attr-defined]
+        else:
+            # Implicit MX: fall back to the apex A/AAAA record (§2.2.3).
+            apex = self._resolver.try_resolve(domain, RRType.A)
+            if apex is not None:
+                hostnames = [domain.text]
+        return [self.probe_host(h) for h in hostnames]

@@ -1,0 +1,154 @@
+"""A retrying mail queue.
+
+Real MTAs do not give up on a 4xx: greylisted or temporarily failing
+messages sit in a queue and retry on a backoff schedule until they
+either deliver or exceed the queue lifetime and bounce.  The paper's
+methodology touches this twice: greylisting MXes only reveal STARTTLS
+on a retry (§4.1 footnote), and MTA-STS enforce-mode refusals are
+*temporary* failures from the queue's perspective — the recipient may
+fix their policy before the queue gives up, which is exactly what
+saved most of the lucidgrow cohort ("the issue was quickly resolved").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.clock import Clock, Duration, HOUR, Instant
+from repro.smtp.delivery import DeliveryAttempt, DeliveryStatus, Message
+
+#: Classic sendmail-style backoff: quick first retries, then hourly-ish.
+DEFAULT_RETRY_SCHEDULE = (
+    Duration(15 * 60), Duration(30 * 60), HOUR, 2 * HOUR, 4 * HOUR,
+    8 * HOUR, 12 * HOUR, 24 * HOUR,
+)
+DEFAULT_QUEUE_LIFETIME = Duration(5 * 24 * 3600)    # five days
+
+
+class QueueOutcome(enum.Enum):
+    DELIVERED = "delivered"
+    QUEUED = "queued"            # waiting for its next attempt
+    BOUNCED = "bounced"          # permanent failure or lifetime exceeded
+
+
+@dataclass
+class QueueEntry:
+    message: Message
+    enqueued_at: Instant
+    next_attempt_at: Instant
+    attempts: int = 0
+    outcome: QueueOutcome = QueueOutcome.QUEUED
+    last_status: Optional[DeliveryStatus] = None
+    history: List[DeliveryStatus] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return self.outcome is QueueOutcome.QUEUED
+
+
+#: Delivery statuses the queue treats as retryable (temporary).
+TEMPORARY = {
+    DeliveryStatus.UNREACHABLE,
+    DeliveryStatus.REFUSED_BY_POLICY,    # policy may get fixed
+}
+#: Permanent: bounce immediately.
+PERMANENT = {
+    DeliveryStatus.NO_MX,
+    DeliveryStatus.REJECTED_BY_SERVER,
+}
+
+
+class MailQueue:
+    """Outbound queue in front of any sender with a ``send(Message)``.
+
+    The queue is clock-driven: callers advance the simulated clock and
+    invoke :meth:`run_due` to process every entry whose retry time has
+    arrived.
+    """
+
+    def __init__(self, sender, clock: Clock,
+                 *, retry_schedule=DEFAULT_RETRY_SCHEDULE,
+                 lifetime: Duration = DEFAULT_QUEUE_LIFETIME):
+        self._sender = sender
+        self._clock = clock
+        self._schedule = tuple(retry_schedule)
+        self._lifetime = lifetime
+        self.entries: List[QueueEntry] = []
+        self.delivered_count = 0
+        self.bounced_count = 0
+
+    # -- intake ----------------------------------------------------------
+
+    def submit(self, message: Message) -> QueueEntry:
+        """Accept a message and attempt immediate delivery."""
+        now = self._clock.now()
+        entry = QueueEntry(message=message, enqueued_at=now,
+                           next_attempt_at=now)
+        self.entries.append(entry)
+        self._attempt(entry)
+        return entry
+
+    # -- processing --------------------------------------------------------
+
+    def run_due(self) -> List[QueueEntry]:
+        """Attempt every entry whose retry time has arrived."""
+        now = self._clock.now()
+        processed = []
+        for entry in self.entries:
+            if entry.active and entry.next_attempt_at <= now:
+                self._attempt(entry)
+                processed.append(entry)
+        return processed
+
+    def _attempt(self, entry: QueueEntry) -> None:
+        attempt: DeliveryAttempt = self._sender.send(entry.message)
+        entry.attempts += 1
+        entry.last_status = attempt.status
+        entry.history.append(attempt.status)
+
+        if attempt.delivered:
+            entry.outcome = QueueOutcome.DELIVERED
+            self.delivered_count += 1
+            return
+        if attempt.status in PERMANENT:
+            entry.outcome = QueueOutcome.BOUNCED
+            self.bounced_count += 1
+            return
+        # Temporary failure: schedule the next retry, or bounce when
+        # the schedule or the queue lifetime is exhausted.
+        now = self._clock.now()
+        retry_index = entry.attempts - 1
+        if retry_index >= len(self._schedule):
+            entry.outcome = QueueOutcome.BOUNCED
+            self.bounced_count += 1
+            return
+        next_at = now + self._schedule[retry_index]
+        if next_at - entry.enqueued_at > self._lifetime:
+            entry.outcome = QueueOutcome.BOUNCED
+            self.bounced_count += 1
+            return
+        entry.next_attempt_at = next_at
+
+    # -- introspection ----------------------------------------------------------
+
+    def pending(self) -> List[QueueEntry]:
+        return [e for e in self.entries if e.active]
+
+    def next_wakeup(self) -> Optional[Instant]:
+        pending = self.pending()
+        if not pending:
+            return None
+        return min(e.next_attempt_at for e in pending)
+
+    def drain(self, *, max_steps: int = 64) -> None:
+        """Advance the clock through every scheduled retry until the
+        queue is empty or *max_steps* is hit (simulation helper)."""
+        for _ in range(max_steps):
+            wakeup = self.next_wakeup()
+            if wakeup is None:
+                return
+            if wakeup > self._clock.now():
+                self._clock.advance_to(wakeup)
+            self.run_due()

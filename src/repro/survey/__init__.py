@@ -1,0 +1,13 @@
+"""The operator survey (paper §7 and Appendix C)."""
+
+from repro.survey.questionnaire import (
+    Question, QuestionKind, Questionnaire, build_questionnaire,
+)
+from repro.survey.synthesize import Respondent, synthesize_respondents
+from repro.survey.analysis import SurveyFindings, analyze
+
+__all__ = [
+    "Question", "QuestionKind", "Questionnaire", "build_questionnaire",
+    "Respondent", "synthesize_respondents",
+    "SurveyFindings", "analyze",
+]

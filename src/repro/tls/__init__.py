@@ -1,0 +1,5 @@
+"""Simulated TLS handshakes."""
+
+from repro.tls.handshake import TlsEndpoint, TlsSession, handshake
+
+__all__ = ["TlsEndpoint", "TlsSession", "handshake"]

@@ -1,0 +1,6 @@
+"""Simulated HTTPS: policy-hosting web servers and a validating client."""
+
+from repro.web.server import HttpResponse, WebServer
+from repro.web.client import HttpsClient, FetchOutcome
+
+__all__ = ["HttpResponse", "WebServer", "HttpsClient", "FetchOutcome"]

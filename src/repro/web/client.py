@@ -1,0 +1,119 @@
+"""A validating HTTPS client with staged failure reporting.
+
+:class:`HttpsClient.fetch` walks the exact pipeline RFC 8461 senders
+(and the paper's scanner) walk when retrieving a policy:
+
+1. **DNS** — resolve the host (following CNAME delegation);
+2. **TCP** — connect to port 443;
+3. **TLS** — handshake with SNI and full PKIX validation;
+4. **HTTP** — issue the GET and require a 200 (redirects are refused
+   per RFC 8461 §3.3).
+
+:class:`FetchOutcome` records which stage failed, giving Figure 5 its
+x-axis for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clock import Clock
+from repro.dns.name import DnsName
+from repro.dns.resolver import Resolver
+from repro.errors import (
+    ConnectionRefused, ConnectionTimeout, DnsError, PolicyFetchStage,
+    TlsError, TlsFailure,
+)
+from repro.netsim.ip import IpAddress
+from repro.netsim.network import Network
+from repro.pki.ca import TrustStore
+from repro.pki.certificate import Certificate
+from repro.tls.handshake import handshake
+from repro.web.server import HTTPS_PORT, WebServer
+
+
+@dataclass
+class FetchOutcome:
+    """Result of one staged HTTPS fetch."""
+
+    url: str
+    body: Optional[str] = None
+    status: Optional[int] = None
+    failed_stage: Optional[PolicyFetchStage] = None
+    tls_failure: Optional[TlsFailure] = None
+    certificate: Optional[Certificate] = None
+    detail: str = ""
+    resolved_ips: list[IpAddress] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_stage is None
+
+
+class HttpsClient:
+    """Fetches URLs over the simulated network with PKIX validation."""
+
+    def __init__(self, network: Network, resolver: Resolver,
+                 trust_store: TrustStore, clock: Clock):
+        self._network = network
+        self._resolver = resolver
+        self._trust_store = trust_store
+        self._clock = clock
+
+    def fetch(self, host: str | DnsName, path: str,
+              *, validate_tls: bool = True) -> FetchOutcome:
+        host_text = host.text if isinstance(host, DnsName) else host
+        host_text = host_text.lower().rstrip(".")
+        outcome = FetchOutcome(url=f"https://{host_text}{path}")
+
+        # Stage 1: DNS
+        try:
+            name = DnsName.parse(host_text)
+            addresses = self._resolver.resolve_address(name)
+        except (ValueError, DnsError) as exc:
+            outcome.failed_stage = PolicyFetchStage.DNS
+            outcome.detail = str(exc)
+            return outcome
+        outcome.resolved_ips = addresses
+
+        # Stage 2: TCP
+        server = None
+        tcp_error: Exception | None = None
+        for address in addresses:
+            try:
+                server = self._network.connect(address, HTTPS_PORT)
+                break
+            except (ConnectionRefused, ConnectionTimeout) as exc:
+                tcp_error = exc
+        if server is None:
+            outcome.failed_stage = PolicyFetchStage.TCP
+            outcome.detail = str(tcp_error)
+            return outcome
+        if not isinstance(server, WebServer):
+            outcome.failed_stage = PolicyFetchStage.TCP
+            outcome.detail = "endpoint is not an HTTPS server"
+            return outcome
+
+        # Stage 3: TLS
+        try:
+            session = handshake(
+                server.tls, host_text,
+                trust_store=self._trust_store if validate_tls else None,
+                now=self._clock.now() if validate_tls else None)
+            outcome.certificate = session.certificate
+        except TlsError as exc:
+            outcome.failed_stage = PolicyFetchStage.TLS
+            outcome.tls_failure = exc.failure
+            outcome.detail = str(exc)
+            return outcome
+
+        # Stage 4: HTTP (redirects are treated as errors per RFC 8461)
+        response = server.handle(host_text, path)
+        outcome.status = response.status
+        if response.status != 200:
+            outcome.failed_stage = PolicyFetchStage.HTTP
+            outcome.detail = f"HTTP {response.status}"
+            return outcome
+        outcome.body = response.body
+        return outcome

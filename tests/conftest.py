@@ -1,0 +1,38 @@
+"""Shared fixtures: a small wired world and common deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fetch import PolicyFetcher
+from repro.core.policy import Policy, PolicyMode
+from repro.core.validator import MtaStsValidator
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.ecosystem.world import World
+
+
+@pytest.fixture
+def world() -> World:
+    return World()
+
+
+@pytest.fixture
+def fetcher(world) -> PolicyFetcher:
+    return PolicyFetcher(world.resolver, world.https_client)
+
+
+@pytest.fixture
+def validator(world, fetcher) -> MtaStsValidator:
+    return MtaStsValidator(world.resolver, fetcher, world.smtp_probe)
+
+
+@pytest.fixture
+def enforce_policy() -> Policy:
+    return Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                  max_age=86400, mx_patterns=("mail.example.com",))
+
+
+@pytest.fixture
+def simple_domain(world):
+    """A correctly configured self-managed domain."""
+    return deploy_domain(world, DomainSpec(domain="example.com"))

@@ -1,0 +1,80 @@
+"""Tests for the analysis helpers: rendering and series assembly."""
+
+import pytest
+
+from repro.analysis.report import format_percent, render_series, render_table
+from repro.analysis.series import run_campaign
+from repro.ecosystem.population import PopulationConfig
+from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [{"name": "alpha", "value": 1.5},
+                {"name": "beta-longer", "value": 22}]
+        text = render_table(rows, ["name", "value"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[3].startswith("alpha")
+        assert "1.50" in lines[3]        # floats rendered with 2 decimals
+        assert "22" in lines[4]
+
+    def test_empty_rows(self):
+        assert "(empty)" in render_table([], ["a"], title="X")
+
+    def test_missing_keys_render_blank(self):
+        text = render_table([{"a": 1}], ["a", "b"])
+        assert text    # does not raise
+
+
+class TestRenderSeries:
+    def test_bars_scale(self):
+        text = render_series([("w1", 2.0), ("w2", 4.0)], bar_scale=2)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 4
+        assert lines[1].count("#") == 8
+
+    def test_title_prepended(self):
+        text = render_series([("x", 1.0)], title="Series")
+        assert text.splitlines()[0] == "Series"
+
+    def test_format_percent(self):
+        assert format_percent(12.345) == "12.3%"
+        assert format_percent(12.345, 2) == "12.35%"
+
+
+class TestCampaignAnalysis:
+    @pytest.fixture(scope="class")
+    def small_campaign(self):
+        timeline = EcosystemTimeline(
+            TimelineConfig(PopulationConfig(scale=0.005, seed=3)))
+        return run_campaign(timeline, months=[0, 11])
+
+    def test_figure4_rows_have_dates(self, small_campaign):
+        rows = small_campaign.figure4_series()
+        assert [r["month_index"] for r in rows] == [0, 11]
+        assert rows[0]["date"] == "2023-11-07"
+        assert rows[1]["date"] == "2024-09-29"
+
+    def test_figure5_percentages_bounded(self, small_campaign):
+        for entity in ("self-managed", "third-party", "unclassified"):
+            for row in small_campaign.figure5_series(entity):
+                for stage in ("dns", "tcp", "tls", "http",
+                              "policy-syntax", "any"):
+                    assert 0.0 <= row[stage] <= 100.0
+
+    def test_figure7_counts_consistent(self, small_campaign):
+        for row in small_campaign.figure7_series():
+            assert row["enforce_invalid"] <= row["all_invalid"]
+
+    def test_campaign_summaries_match_store(self, small_campaign):
+        summary = small_campaign.latest_summary()
+        assert summary.total_sts == sum(
+            1 for s in small_campaign.store.latest() if s.sts_like)
+
+    def test_verdicts_cover_every_domain(self, small_campaign):
+        month = small_campaign.store.latest_month()
+        verdicts = small_campaign.verdicts_by_month[month]
+        domains = {s.domain for s in small_campaign.store.month(month)}
+        assert set(verdicts) == domains

@@ -1,0 +1,90 @@
+"""Tests for deployment/removal procedures (RFC 8461, paper §2.6)."""
+
+import pytest
+
+from repro.clock import DAY, Duration
+from repro.core.lifecycle import (
+    LifecycleStep, StepKind, check_removal_sequence, plan_deployment,
+    plan_removal,
+)
+from repro.core.policy import Policy, PolicyMode
+
+
+@pytest.fixture
+def enforce_policy():
+    return Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                  max_age=14 * 86400, mx_patterns=("mail.example.com",))
+
+
+class TestPlans:
+    def test_deployment_policy_before_record(self, enforce_policy):
+        plan = plan_deployment("example.com", enforce_policy)
+        kinds = [s.kind for s in plan.steps]
+        assert kinds.index(StepKind.PUBLISH_POLICY) < \
+            kinds.index(StepKind.PUBLISH_RECORD)
+
+    def test_removal_follows_rfc_order(self, enforce_policy):
+        plan = plan_removal("example.com", enforce_policy)
+        kinds = [s.kind for s in plan.steps]
+        assert kinds == [StepKind.PUBLISH_POLICY, StepKind.BUMP_RECORD_ID,
+                         StepKind.WAIT, StepKind.REMOVE_RECORD,
+                         StepKind.REMOVE_POLICY, StepKind.REMOVE_POLICY_HOST]
+
+    def test_removal_none_policy(self, enforce_policy):
+        plan = plan_removal("example.com", enforce_policy)
+        none_step = plan.steps[0]
+        assert none_step.policy.mode is PolicyMode.NONE
+        assert none_step.policy.max_age <= 86400
+
+    def test_removal_wait_covers_previous_max_age(self, enforce_policy):
+        plan = plan_removal("example.com", enforce_policy)
+        wait = next(s for s in plan.steps if s.kind is StepKind.WAIT)
+        assert wait.wait.seconds >= enforce_policy.max_age
+
+    def test_removal_plan_passes_its_own_check(self, enforce_policy):
+        plan = plan_removal("example.com", enforce_policy)
+        check = check_removal_sequence(plan.steps, enforce_policy)
+        assert check.compliant, check.problems
+
+
+class TestRemovalLinting:
+    def test_abrupt_removal_flagged(self, enforce_policy):
+        steps = [LifecycleStep(StepKind.REMOVE_RECORD),
+                 LifecycleStep(StepKind.REMOVE_POLICY)]
+        check = check_removal_sequence(steps, enforce_policy)
+        assert not check.compliant
+        assert any("mode=none" in p for p in check.problems)
+        assert any("before the waiting period" in p for p in check.problems)
+
+    def test_missing_id_bump_flagged(self, enforce_policy):
+        none_policy = Policy(version="STSv1", mode=PolicyMode.NONE,
+                             max_age=86400, mx_patterns=())
+        steps = [LifecycleStep(StepKind.PUBLISH_POLICY, policy=none_policy),
+                 LifecycleStep(StepKind.WAIT,
+                               wait=Duration(enforce_policy.max_age)),
+                 LifecycleStep(StepKind.REMOVE_RECORD)]
+        check = check_removal_sequence(steps, enforce_policy)
+        assert any("bumping the record id" in p for p in check.problems)
+
+    def test_short_wait_flagged(self, enforce_policy):
+        none_policy = Policy(version="STSv1", mode=PolicyMode.NONE,
+                             max_age=86400, mx_patterns=())
+        steps = [LifecycleStep(StepKind.PUBLISH_POLICY, policy=none_policy),
+                 LifecycleStep(StepKind.BUMP_RECORD_ID),
+                 LifecycleStep(StepKind.WAIT, wait=DAY),
+                 LifecycleStep(StepKind.REMOVE_RECORD)]
+        check = check_removal_sequence(steps, enforce_policy)
+        assert any("max_age" in p for p in check.problems)
+
+    def test_cumulative_waits_count(self, enforce_policy):
+        none_policy = Policy(version="STSv1", mode=PolicyMode.NONE,
+                             max_age=86400, mx_patterns=())
+        steps = [LifecycleStep(StepKind.PUBLISH_POLICY, policy=none_policy),
+                 LifecycleStep(StepKind.BUMP_RECORD_ID),
+                 LifecycleStep(StepKind.WAIT, wait=DAY * 7),
+                 LifecycleStep(StepKind.WAIT, wait=DAY * 7),
+                 LifecycleStep(StepKind.REMOVE_RECORD),
+                 LifecycleStep(StepKind.REMOVE_POLICY),
+                 LifecycleStep(StepKind.REMOVE_POLICY_HOST)]
+        check = check_removal_sequence(steps, enforce_policy)
+        assert check.compliant, check.problems

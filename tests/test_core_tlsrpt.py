@@ -1,0 +1,63 @@
+"""Tests for TLSRPT record parsing and lookup (Appendix B)."""
+
+import pytest
+
+from repro.core.tlsrpt import TlsRptRecord, lookup_tlsrpt, parse_tlsrpt_record
+from repro.dns.name import DnsName
+from repro.dns.records import TxtRecord
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+
+
+class TestParsing:
+    def test_mailto_rua(self):
+        record = parse_tlsrpt_record(
+            "v=TLSRPTv1; rua=mailto:tls@example.com")
+        assert record is not None
+        assert record.rua == ("mailto:tls@example.com",)
+
+    def test_https_rua(self):
+        record = parse_tlsrpt_record(
+            "v=TLSRPTv1; rua=https://reports.example.com/v1")
+        assert record is not None
+
+    def test_multiple_rua(self):
+        record = parse_tlsrpt_record(
+            "v=TLSRPTv1; rua=mailto:a@x.com,https://y.com/r")
+        assert len(record.rua) == 2
+
+    def test_render_round_trip(self):
+        record = TlsRptRecord("TLSRPTv1", ("mailto:a@x.com",))
+        assert parse_tlsrpt_record(record.render()) == record
+
+    @pytest.mark.parametrize("bad", [
+        "v=TLSRPTv2; rua=mailto:a@x.com",       # wrong version
+        "rua=mailto:a@x.com",                   # no version
+        "v=TLSRPTv1;",                          # no rua
+        "v=TLSRPTv1; rua=",                     # empty rua
+        "v=TLSRPTv1; rua=ftp://x.com",          # bad scheme
+        "v=TLSRPTv1; rua=mailto:not-an-email",  # malformed address
+    ])
+    def test_invalid_records(self, bad):
+        assert parse_tlsrpt_record(bad) is None
+
+
+class TestLookup:
+    def test_found_via_dns(self, world):
+        from repro.core.tlsrpt import TlsRptRecord
+        deploy_domain(world, DomainSpec(
+            domain="rpt.com",
+            tlsrpt=TlsRptRecord("TLSRPTv1", ("mailto:tls@rpt.com",))))
+        record = lookup_tlsrpt(world.resolver, "rpt.com")
+        assert record is not None
+        assert record.rua == ("mailto:tls@rpt.com",)
+
+    def test_absent(self, world, simple_domain):
+        assert lookup_tlsrpt(world.resolver, "example.com") is None
+
+    def test_multiple_records_invalid(self, world, simple_domain):
+        name = DnsName.parse("_smtp._tls.example.com")
+        simple_domain.zone.add(TxtRecord(name, 300,
+                                         "v=TLSRPTv1; rua=mailto:a@x.com"))
+        simple_domain.zone.add(TxtRecord(name, 300,
+                                         "v=TLSRPTv1; rua=mailto:b@x.com"))
+        assert lookup_tlsrpt(world.resolver, "example.com") is None

@@ -1,0 +1,102 @@
+"""Tests for reverse DNS, FCrDNS verification, and FCrDNS-gated MTAs."""
+
+import pytest
+
+from repro.dns.name import DnsName
+from repro.dns.records import ARecord
+from repro.dns.reverse import fcrdns_check, publish_ptr, reverse_name
+from repro.dns.zone import Zone
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.netsim.ip import IpAddress
+
+
+class TestReverseName:
+    def test_octet_reversal(self):
+        assert reverse_name(IpAddress.parse("10.1.2.3")).text == \
+            "3.2.1.10.in-addr.arpa"
+
+    def test_v6_not_modelled(self):
+        with pytest.raises(ValueError):
+            reverse_name(IpAddress.v6(1))
+
+
+class TestFcrdns:
+    def _publish_identity(self, world, hostname, ip):
+        apex = DnsName.parse(hostname).parent()
+        zone = Zone(apex=apex)
+        zone.add(ARecord(DnsName.parse(hostname), 3600, ip))
+        world.host_zone(zone)
+        publish_ptr(world.reverse_zone, ip, hostname)
+
+    def test_world_scanner_identity_passes(self, world):
+        result = fcrdns_check(world.resolver, world.scanner_ip,
+                              world.scanner_hostname)
+        assert result.passed
+        assert result.ptr_name == world.scanner_hostname
+
+    def test_missing_ptr_fails(self, world):
+        stray = world.mx_ip_pool.allocate()
+        result = fcrdns_check(world.resolver, stray, "ghost.example.org")
+        assert not result.passed
+        assert "no PTR" in result.detail
+
+    def test_ptr_name_mismatch_fails(self, world):
+        ip = world.mx_ip_pool.allocate()
+        self._publish_identity(world, "real.mailer.net", ip)
+        result = fcrdns_check(world.resolver, ip, "fake.mailer.net")
+        assert not result.passed
+        assert result.ptr_name == "real.mailer.net"
+
+    def test_forward_confirmation_required(self, world):
+        # PTR exists but the forward A record points elsewhere.
+        ip = world.mx_ip_pool.allocate()
+        other_ip = world.mx_ip_pool.allocate()
+        world.network.register_host(other_ip)
+        zone = Zone(apex=DnsName.parse("mailer.net"))
+        zone.add(ARecord(DnsName.parse("spoofed.mailer.net"), 3600,
+                         other_ip))
+        world.host_zone(zone)
+        publish_ptr(world.reverse_zone, ip, "spoofed.mailer.net")
+        result = fcrdns_check(world.resolver, ip, "spoofed.mailer.net")
+        assert not result.passed
+        assert "resolves to" in result.detail
+
+    def test_out_of_zone_ptr_rejected(self):
+        zone = Zone(apex=DnsName.parse("1.10.in-addr.arpa"))
+        with pytest.raises(ValueError):
+            publish_ptr(zone, IpAddress.parse("10.2.0.1"), "x.example.com")
+
+
+class TestFcrdnsGatedMx:
+    def test_scanner_accepted_by_strict_mta(self, world):
+        deployed = deploy_domain(world, DomainSpec(domain="strictmx.com"))
+        mx = deployed.mx_hosts[0]
+        mx.require_fcrdns_with = world.resolver
+        probe = world.smtp_probe.probe_host("mail.strictmx.com")
+        assert probe.starttls_offered
+        assert probe.cert_valid
+
+    def test_anonymous_client_rejected(self, world):
+        deployed = deploy_domain(world, DomainSpec(domain="strictmx2.com"))
+        mx = deployed.mx_hosts[0]
+        mx.require_fcrdns_with = world.resolver
+        response = mx.ehlo("liar.example.net", None)
+        assert response.code == 554
+
+    def test_spoofed_name_rejected(self, world):
+        deployed = deploy_domain(world, DomainSpec(domain="strictmx3.com"))
+        mx = deployed.mx_hosts[0]
+        mx.require_fcrdns_with = world.resolver
+        response = mx.ehlo("liar.example.net", world.scanner_ip)
+        assert response.code == 554
+
+    def test_probe_records_fcrdns_rejection(self, world):
+        from repro.smtp.client import SmtpProbe
+        deployed = deploy_domain(world, DomainSpec(domain="strictmx4.com"))
+        deployed.mx_hosts[0].require_fcrdns_with = world.resolver
+        rogue = SmtpProbe(world.network, world.resolver, world.trust_store,
+                          world.clock, client_name="rogue.nowhere.net")
+        result = rogue.probe_host("mail.strictmx4.com")
+        assert result.ehlo_code == 554
+        assert not result.starttls_offered
+        assert "FCrDNS" in result.detail

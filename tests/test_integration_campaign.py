@@ -1,0 +1,127 @@
+"""End-to-end integration: timeline -> scanner -> analysis.
+
+Runs a small-scale (but complete) measurement campaign and asserts the
+paper's qualitative findings hold: the misconfiguration level, the
+dominance of policy-server errors, self-managed vs third-party gaps,
+the event spikes, and the Figure 9/10 relationships.
+"""
+
+import pytest
+
+from repro.analysis.series import run_campaign
+from repro.ecosystem.population import (
+    DMARC_SPIKE_MONTH, LUCIDGROW_MONTH, PopulationConfig,
+)
+from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    timeline = EcosystemTimeline(
+        TimelineConfig(PopulationConfig(scale=SCALE, seed=7)))
+    # First, mid (around the lucidgrow and DMARCReport events), and
+    # final months keep the test quick while covering the dynamics.
+    months = [0, LUCIDGROW_MONTH, DMARC_SPIKE_MONTH, 11]
+    return run_campaign(timeline, months=months)
+
+
+class TestHeadlineNumbers:
+    def test_misconfiguration_level(self, campaign):
+        summary = campaign.latest_summary()
+        # Paper: 29.6% misconfigured at the final snapshot.
+        assert 18 <= summary.misconfigured_percent() <= 40
+
+    def test_policy_errors_dominate(self, campaign):
+        # Paper §4.6: 70-85% of errors are policy-server related.
+        summary = campaign.latest_summary()
+        policy = summary.category_counts["policy-retrieval"]
+        total = sum(summary.category_counts.values())
+        assert policy / total >= 0.6
+
+    def test_some_delivery_failures_exist(self, campaign):
+        summary = campaign.latest_summary()
+        assert summary.delivery_failures > 0
+        assert summary.delivery_failures < summary.misconfigured
+
+
+class TestEntitySplits:
+    def test_self_managed_policy_hosts_worse(self, campaign):
+        rows = campaign.figure5_series("self-managed")
+        third = campaign.figure5_series("third-party")
+        # The self-managed error rate exceeds the third-party one in
+        # every month (even through the June third-party spike), and by
+        # a wide margin at the final snapshot (paper: 37.8% vs 4.9%).
+        for self_row, third_row in zip(rows, third):
+            assert self_row["any"] > third_row["any"]
+        assert rows[-1]["any"] > 2 * third[-1]["any"]
+
+    def test_tls_leads_policy_errors(self, campaign):
+        row = campaign.figure5_series("self-managed")[-1]
+        assert row["tls"] > row["tcp"]
+        assert row["tls"] > row["http"]
+        assert row["tls"] > row["dns"]
+
+    def test_self_managed_mx_worse(self, campaign):
+        self_rows = campaign.figure6_series("self-managed")
+        third_rows = campaign.figure6_series("third-party")
+        assert self_rows[-1]["invalid_pct"] > third_rows[-1]["invalid_pct"]
+        # Roughly 4.4% vs 1%.
+        assert 1.5 <= self_rows[-1]["invalid_pct"] <= 9
+        assert third_rows[-1]["invalid_pct"] <= 3
+
+    def test_all_invalid_dominated_by_self(self, campaign):
+        row = campaign.figure7_series()[-1]
+        assert row["all_invalid"] >= row["partially_invalid"]
+
+
+class TestEvents:
+    def test_lucidgrow_spike_in_3ld(self, campaign):
+        # The January event adds the whole lucidgrow cohort to the 3LD+
+        # class on top of the slowly-growing background.
+        rows = {r["month_index"]: r for r in campaign.figure8_series()}
+        jump = (rows[LUCIDGROW_MONTH]["3ld-plus-mismatch"]
+                - rows[0]["3ld-plus-mismatch"])
+        cohort = round(246 * SCALE)
+        assert jump >= cohort
+
+    def test_porkbun_raises_late_policy_errors(self, campaign):
+        rows = campaign.figure5_series("self-managed")
+        by_month = {r["month_index"]: r["any"] for r in rows}
+        assert by_month[11] > by_month[0]
+
+    def test_dmarc_spike_transient_for_third_party(self, campaign):
+        rows = {r["month_index"]: r
+                for r in campaign.figure5_series("third-party")}
+        assert rows[DMARC_SPIKE_MONTH]["tls"] > rows[11]["tls"]
+
+
+class TestInconsistency:
+    def test_figure9_share_grows(self, campaign):
+        series = campaign.figure9_series()
+        # Later months explain more mismatches through history.
+        assert series[-1]["percent"] > series[0]["percent"]
+        assert series[-1]["candidates"] > 0
+
+    def test_figure10_same_entity_nearly_immune(self, campaign):
+        # Paper: 1 same-provider domain (laura-norman.com's typo) vs
+        # 640 different-provider ones.  At test scale the absolute
+        # counts are tiny; the invariant is that the same-entity side
+        # never exceeds that single known domain.
+        row = campaign.figure10_series()[-1]
+        assert row["diff_total"] > 0 and row["same_total"] > 0
+        assert row["same_bad"] <= 1
+        assert row["diff_bad"] >= row["same_bad"]
+
+    def test_enforce_exposure_nonzero(self, campaign):
+        row = campaign.figure8_series()[-1]
+        assert row["enforce"] >= 0
+
+
+class TestDelegationCensus:
+    def test_tutanota_and_dmarcreport_lead(self, campaign):
+        census = campaign.table2_census()
+        top_slds = [row["provider_sld"] for row in census[:4]]
+        assert "tutanota.de" in top_slds
+        assert "dmarcinput.com" in top_slds

@@ -1,0 +1,112 @@
+"""Tests for the Table-2 delegation census and opt-out probing (§5)."""
+
+import pytest
+
+from repro.core.policy import Policy, PolicyMode
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.ecosystem.providers import (
+    OptOutBehavior, default_email_providers, table2_providers,
+)
+from repro.measurement.delegation import (
+    delegation_census, identify_provider, probe_opted_out, table2_rows,
+)
+from repro.measurement.scanner import Scanner
+
+
+@pytest.fixture
+def providers():
+    return {p.name: p for p in table2_providers()}
+
+
+class TestIdentifyProvider:
+    def test_cname_target_sld(self, world, providers):
+        deploy_domain(world, DomainSpec(domain="cust.com",
+                                        policy_provider=providers["URIports"]))
+        snap = Scanner(world).scan_domain("cust.com", 0)
+        assert identify_provider(snap) == "uriports.com"
+
+    def test_self_hosted_has_no_provider(self, world, simple_domain):
+        snap = Scanner(world).scan_domain("example.com", 0)
+        assert identify_provider(snap) is None
+
+
+class TestCensus:
+    def test_counts_and_order(self, world, providers):
+        for i in range(5):
+            deploy_domain(world, DomainSpec(
+                domain=f"a{i}.com", policy_provider=providers["Tutanota"],
+                email_provider=next(
+                    p for p in default_email_providers()
+                    if p.name == "Tutanota")))
+        for i in range(3):
+            deploy_domain(world, DomainSpec(
+                domain=f"b{i}.com", policy_provider=providers["Sendmarc"]))
+        scanner = Scanner(world)
+        snaps = [scanner.scan_domain(f"a{i}.com", 0) for i in range(5)]
+        snaps += [scanner.scan_domain(f"b{i}.com", 0) for i in range(3)]
+        census = delegation_census(snaps)
+        assert census[0]["provider_sld"] == "tutanota.de"
+        assert census[0]["domains"] == 5
+        assert census[1]["provider_sld"] == "sdmarc.net"
+        assert census[1]["domains"] == 3
+
+    def test_table2_rows_flags(self, world, providers):
+        deploy_domain(world, DomainSpec(
+            domain="x.com", policy_provider=providers["Mailhardener"]))
+        deploy_domain(world, DomainSpec(
+            domain="y.com", policy_provider=providers["DMARCReport"]))
+        scanner = Scanner(world)
+        snaps = [scanner.scan_domain(d, 0) for d in ("x.com", "y.com")]
+        rows = {r["provider"]: r
+                for r in table2_rows(delegation_census(snaps), providers)}
+        assert rows["Mailhardener"]["optout_nxdomain"]
+        assert not rows["Mailhardener"]["optout_reissues_cert"]
+        assert rows["DMARCReport"]["optout_reissues_cert"]
+        assert rows["DMARCReport"]["optout_policy_update"] == "empty-file"
+
+
+class TestOptOutProbes:
+    def _opted_out_customer(self, world, provider, domain):
+        deployed = deploy_domain(world, DomainSpec(
+            domain=domain, policy_provider=provider))
+        provider.customer_opts_out(world, domain)
+        world.resolver.flush_cache()
+        return deployed
+
+    def test_nxdomain_observation(self, world, providers):
+        provider = providers["PowerDMARC"]
+        self._opted_out_customer(world, provider, "gone.com")
+        observation = probe_opted_out(world, provider, "gone.com")
+        assert not observation.policy_resolves
+        assert observation.effective_mode == "unreachable"
+
+    def test_empty_file_observation(self, world, providers):
+        provider = providers["DMARCReport"]
+        self._opted_out_customer(world, provider, "empty.com")
+        observation = probe_opted_out(world, provider, "empty.com")
+        assert observation.cert_valid          # cert keeps renewing
+        assert observation.policy_body == ""
+        assert not observation.policy_parse_ok
+        assert observation.effective_mode == "none"   # parse error ~ none
+
+    def test_stale_policy_observation(self, world, providers):
+        provider = providers["Sendmarc"]
+        deployed = deploy_domain(world, DomainSpec(
+            domain="stale.com", policy_provider=provider,
+            policy=Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                          max_age=86400, mx_patterns=("mail.stale.com",))))
+        provider.customer_opts_out(world, "stale.com")
+        world.resolver.flush_cache()
+        observation = probe_opted_out(world, provider, "stale.com")
+        assert observation.cert_valid
+        assert observation.policy_parse_ok
+        assert observation.effective_mode == "enforce"   # delivery risk
+
+    def test_no_provider_follows_best_practice(self, providers):
+        # §5's summary: none of the eight implement the §2.6 removal.
+        for provider in providers.values():
+            assert provider.opt_out in (
+                OptOutBehavior.NXDOMAIN,
+                OptOutBehavior.REISSUE_CERT_STALE_POLICY,
+                OptOutBehavior.REISSUE_CERT_EMPTY_POLICY,
+                OptOutBehavior.REJECT_MAIL_STALE_POLICY)

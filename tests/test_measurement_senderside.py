@@ -1,0 +1,116 @@
+"""Tests for the sender-side validation testbed (§6)."""
+
+import pytest
+
+from repro.measurement.senderside import (
+    SENDER_COUNT, SenderProfile, SenderSideTestbed,
+    synthesize_sender_population,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    from repro.ecosystem.world import World
+    return SenderSideTestbed(World())
+
+
+class TestPopulationSynthesis:
+    def test_count(self):
+        profiles = synthesize_sender_population()
+        assert len(profiles) == SENDER_COUNT
+
+    def test_marginals_near_paper(self):
+        profiles = synthesize_sender_population()
+        total = len(profiles)
+        tls = sum(p.uses_tls for p in profiles)
+        sts = sum(p.validates_mta_sts for p in profiles)
+        dane = sum(p.validates_dane for p in profiles)
+        both = sum(p.validates_mta_sts and p.validates_dane
+                   for p in profiles)
+        prefer = sum(p.prefers_sts_over_dane for p in profiles)
+        assert abs(tls / total - 0.946) < 0.02
+        assert abs(sts / total - 0.196) < 0.03
+        assert abs(dane / total - 0.298) < 0.03
+        assert 0.05 < both / total < 0.13         # ~203/2394
+        assert prefer <= both
+
+    def test_deterministic(self):
+        a = synthesize_sender_population(seed=3)
+        b = synthesize_sender_population(seed=3)
+        assert [(p.validates_mta_sts, p.validates_dane) for p in a] == \
+            [(p.validates_mta_sts, p.validates_dane) for p in b]
+
+
+class TestProbes:
+    def test_opportunistic_sender_delivers_everywhere(self, testbed):
+        profile = SenderProfile(identity="opportunistic.example")
+        outcome = testbed.run_probe(profile)
+        assert outcome.delivered_to_sts_trap
+        assert outcome.delivered_to_dane_trap
+        assert outcome.delivered_to_pkix_trap
+        inferred = outcome.classify()
+        assert not inferred["validates_mta_sts"]
+        assert not inferred["validates_dane"]
+
+    def test_sts_validator_refuses_trap(self, testbed):
+        profile = SenderProfile(identity="sts.example",
+                                validates_mta_sts=True)
+        outcome = testbed.run_probe(profile)
+        assert not outcome.delivered_to_sts_trap
+        assert outcome.delivered_to_pkix_trap   # no policy -> opportunistic
+        assert outcome.classify()["validates_mta_sts"]
+
+    def test_dane_validator_refuses_trap(self, testbed):
+        profile = SenderProfile(identity="dane.example",
+                                validates_dane=True)
+        outcome = testbed.run_probe(profile)
+        assert not outcome.delivered_to_dane_trap
+        assert outcome.delivered_to_sts_trap
+        assert outcome.classify()["validates_dane"]
+
+    def test_pkix_always_sender_distinguished(self, testbed):
+        profile = SenderProfile(identity="pkix.example", require_pkix=True)
+        outcome = testbed.run_probe(profile)
+        assert not outcome.delivered_to_pkix_trap
+        inferred = outcome.classify()
+        assert inferred["pkix_always"]
+        assert not inferred["validates_mta_sts"]
+
+    def test_correct_precedence_refuses_conflict(self, testbed):
+        profile = SenderProfile(identity="both.example",
+                                validates_mta_sts=True,
+                                validates_dane=True)
+        outcome = testbed.run_probe(profile)
+        assert outcome.delivered_to_conflict_probe_mechanism == ""
+
+    def test_milter_bug_delivers_conflict_via_sts(self, testbed):
+        profile = SenderProfile(identity="buggy.example",
+                                validates_mta_sts=True,
+                                validates_dane=True,
+                                prefers_sts_over_dane=True)
+        outcome = testbed.run_probe(profile)
+        assert outcome.delivered_to_conflict_probe_mechanism == "mta-sts"
+
+
+class TestCampaign:
+    def test_small_campaign_aggregates(self, testbed):
+        profiles = [
+            SenderProfile("opp1.example"),
+            SenderProfile("opp2.example"),
+            SenderProfile("sts.example", validates_mta_sts=True),
+            SenderProfile("dane.example", validates_dane=True),
+            SenderProfile("both.example", validates_mta_sts=True,
+                          validates_dane=True),
+            SenderProfile("bug.example", validates_mta_sts=True,
+                          validates_dane=True, prefers_sts_over_dane=True),
+            SenderProfile("pkix.example", require_pkix=True),
+            SenderProfile("plain.example", uses_tls=False),
+        ]
+        report = testbed.run_campaign(profiles)
+        assert report["senders"] == 8
+        assert report["tls"] == 7
+        assert report["mta_sts_validators"] == 3
+        assert report["dane_validators"] == 3
+        assert report["both_validators"] == 2
+        assert report["prefer_sts_over_dane"] == 1
+        assert report["pkix_always"] == 1

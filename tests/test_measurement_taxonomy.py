@@ -1,0 +1,126 @@
+"""Tests for the error taxonomy and inconsistency classification."""
+
+import pytest
+
+from repro.core.policy import Policy, PolicyMode
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.ecosystem.misconfig import Fault, apply_fault
+from repro.errors import MisconfigCategory, MismatchClass
+from repro.measurement.inconsistency import (
+    classify_mismatch, classify_snapshot, mismatch_census,
+)
+from repro.measurement.scanner import Scanner
+from repro.measurement.taxonomy import (
+    categorize, delivery_failure_expected, snapshot_summary,
+)
+
+
+class TestClassifyMismatch:
+    def test_matching_is_not_a_mismatch(self):
+        verdict = classify_mismatch(["*.example.com"], ["mx.example.com"])
+        assert not verdict.mismatch
+
+    def test_typo_detected(self):
+        verdict = classify_mismatch(["mial.example.com"],
+                                    ["mail.example.com"])
+        assert verdict.mismatch_class is MismatchClass.TYPO
+
+    def test_tld_swap_is_not_a_typo(self):
+        # Figure 8's rule: TLD mismatches do not qualify as typos.
+        verdict = classify_mismatch(["mail.example.net"],
+                                    ["mail.example.com"])
+        assert verdict.mismatch_class is MismatchClass.TLD
+
+    def test_3ld_mismatch(self):
+        verdict = classify_mismatch(["mta-sts.mail.example.com"],
+                                    ["mail.example.com"])
+        assert verdict.mismatch_class is MismatchClass.THREE_LD
+
+    def test_complete_domain_mismatch(self):
+        verdict = classify_mismatch(["mx.oldprovider.net"],
+                                    ["aspmx.l.google.com"])
+        assert verdict.mismatch_class is MismatchClass.DOMAIN
+
+    def test_wildcard_patterns_participate(self):
+        verdict = classify_mismatch(["*.exampel.com"], ["mx.example.com"])
+        assert verdict.mismatch_class is MismatchClass.TYPO
+
+    def test_empty_inputs_no_verdict(self):
+        assert not classify_mismatch([], ["mx.example.com"]).mismatch
+        assert not classify_mismatch(["a.example.com"], []).mismatch
+
+    def test_typo_precedence_over_3ld(self):
+        # A pattern 1 edit away from the MX also shares the eSLD; the
+        # typo class wins per the paper's ordering.
+        verdict = classify_mismatch(["mai.example.com"],
+                                    ["mail.example.com"])
+        assert verdict.mismatch_class is MismatchClass.TYPO
+
+
+class TestCategorizeSnapshots:
+    def scan(self, world, domain="example.com"):
+        return Scanner(world).scan_domain(domain, 0)
+
+    def test_healthy(self, world, simple_domain):
+        assert categorize(self.scan(world)) == []
+
+    @pytest.mark.parametrize("fault, category", [
+        (Fault.RECORD_INVALID_ID, MisconfigCategory.DNS_RECORD),
+        (Fault.POLICY_TLS_CN_MISMATCH, MisconfigCategory.POLICY_RETRIEVAL),
+        (Fault.POLICY_SYNTAX_EMPTY, MisconfigCategory.POLICY_RETRIEVAL),
+        (Fault.MX_CERT_EXPIRED, MisconfigCategory.MX_CERTIFICATE),
+        (Fault.MISMATCH_DOMAIN, MisconfigCategory.INCONSISTENCY),
+    ])
+    def test_single_fault_maps_to_category(self, world, simple_domain,
+                                           fault, category):
+        apply_fault(world, simple_domain, fault)
+        world.resolver.flush_cache()
+        assert category in categorize(self.scan(world))
+
+    def test_non_sts_domain_has_no_categories(self, world):
+        deploy_domain(world, DomainSpec(domain="plain.com",
+                                        deploy_sts=False))
+        assert categorize(self.scan(world, "plain.com")) == []
+
+    def test_delivery_failure_requires_enforce(self, world):
+        deployed = deploy_domain(world, DomainSpec(
+            domain="strict.com",
+            policy=Policy(version="STSv1", mode=PolicyMode.ENFORCE,
+                          max_age=86400, mx_patterns=("mail.strict.com",))))
+        apply_fault(world, deployed, Fault.MISMATCH_DOMAIN)
+        world.resolver.flush_cache()
+        assert delivery_failure_expected(self.scan(world, "strict.com"))
+
+    def test_summary_aggregates(self, world, simple_domain):
+        broken = deploy_domain(world, DomainSpec(domain="broken.com"))
+        apply_fault(world, broken, Fault.POLICY_HTTP_404)
+        scanner = Scanner(world)
+        snaps = [scanner.scan_domain("example.com", 0),
+                 scanner.scan_domain("broken.com", 0)]
+        summary = snapshot_summary(snaps)
+        assert summary.total_sts == 2
+        assert summary.misconfigured == 1
+        assert summary.category_counts["policy-retrieval"] == 1
+        assert summary.misconfigured_percent() == 50.0
+
+
+class TestMismatchCensus:
+    def test_census_counts_by_class(self, world):
+        specs = {
+            "typo.com": Fault.MISMATCH_TYPO,
+            "tld.com": Fault.MISMATCH_TLD,
+            "threeld.com": Fault.MISMATCH_3LD,
+            "whole.com": Fault.MISMATCH_DOMAIN,
+        }
+        scanner = Scanner(world)
+        snaps = []
+        for domain, fault in specs.items():
+            deployed = deploy_domain(world, DomainSpec(domain=domain))
+            apply_fault(world, deployed, fault)
+            snaps.append(scanner.scan_domain(domain, 0))
+        census = mismatch_census(snaps)
+        counts = census["counts"]
+        assert counts[MismatchClass.TYPO] == 1
+        assert counts[MismatchClass.TLD] == 1
+        assert counts[MismatchClass.THREE_LD] == 1
+        assert counts[MismatchClass.DOMAIN] == 1

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import mx_pattern_matches, policy_covers_mx
+from repro.core.policy import (
+    Policy, PolicyMode, check_policy_text, parse_policy, render_policy,
+)
+from repro.core.record import parse_sts_record
+from repro.dns.name import DnsName, levenshtein
+from repro.errors import RecordError
+from repro.measurement.inconsistency import classify_mismatch
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=10).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-"))
+
+hostname = st.builds(
+    lambda labels, tld: ".".join(labels + [tld]),
+    st.lists(label, min_size=1, max_size=3),
+    st.sampled_from(["com", "net", "org", "se"]))
+
+
+class TestRecordProperties:
+    @given(st.text(alphabet=string.ascii_letters + string.digits,
+                   min_size=1, max_size=32))
+    def test_any_alphanumeric_id_round_trips(self, record_id):
+        record = parse_sts_record(f"v=STSv1; id={record_id};")
+        assert record.id == record_id
+        assert parse_sts_record(record.render()) == record
+
+    @given(st.text(max_size=50))
+    def test_parser_never_crashes(self, text):
+        try:
+            parse_sts_record(text)
+        except RecordError:
+            pass    # rejection is fine; other exceptions are not
+
+
+class TestPolicyProperties:
+    @given(st.lists(hostname, min_size=1, max_size=5, unique=True),
+           st.sampled_from(list(PolicyMode)),
+           st.integers(min_value=0, max_value=31_557_600))
+    def test_render_parse_round_trip(self, hosts, mode, max_age):
+        policy = Policy(version="STSv1", mode=mode, max_age=max_age,
+                        mx_patterns=tuple(hosts))
+        assert parse_policy(render_policy(policy)) == policy
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_lenient_checker_never_crashes(self, text):
+        check = check_policy_text(text)
+        # Invariant: valid <=> a policy exists and no errors collected.
+        assert check.valid == (check.policy is not None
+                               and not check.errors)
+
+
+class TestMatchingProperties:
+    @given(hostname)
+    def test_exact_pattern_always_matches_itself(self, host):
+        assert mx_pattern_matches(host, host)
+
+    @given(hostname, label)
+    def test_wildcard_matches_any_single_label_child(self, host, child):
+        assert mx_pattern_matches(f"*.{host}", f"{child}.{host}")
+
+    @given(hostname, label, label)
+    def test_wildcard_never_matches_two_labels(self, host, a, b):
+        assert not mx_pattern_matches(f"*.{host}", f"{a}.{b}.{host}")
+
+    @given(hostname)
+    def test_wildcard_never_matches_apex(self, host):
+        assert not mx_pattern_matches(f"*.{host}", host)
+
+    @given(st.lists(hostname, min_size=1, max_size=4), hostname)
+    def test_coverage_is_any_of_matches(self, patterns, host):
+        assert policy_covers_mx(patterns, host) == any(
+            mx_pattern_matches(p, host) for p in patterns)
+
+
+class TestLevenshteinProperties:
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=20))
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(st.text(max_size=15), st.text(max_size=15), st.text(max_size=15))
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=20), st.text(max_size=20),
+           st.integers(min_value=0, max_value=5))
+    def test_cap_agrees_with_exact(self, a, b, cap):
+        exact = levenshtein(a, b)
+        capped = levenshtein(a, b, cap=cap)
+        if exact <= cap:
+            assert capped == exact
+        else:
+            assert capped == cap + 1
+
+
+class TestDnsNameProperties:
+    @given(st.lists(label, min_size=1, max_size=5))
+    def test_parse_text_round_trip(self, labels):
+        text = ".".join(labels)
+        assume(sum(len(l) + 1 for l in labels) <= 254)
+        name = DnsName.parse(text)
+        assert name.text == text
+        assert DnsName.parse(name.text) == name
+
+    @given(st.lists(label, min_size=2, max_size=5))
+    def test_parent_child_inverse(self, labels):
+        text = ".".join(labels)
+        assume(sum(len(l) + 1 for l in labels) <= 254)
+        name = DnsName.parse(text)
+        assert name.parent().child(name.labels[0]) == name
+
+    @given(st.lists(label, min_size=1, max_size=4),
+           st.lists(label, min_size=1, max_size=2))
+    def test_subdomain_transitivity(self, base, extra):
+        assume(sum(len(l) + 1 for l in base + extra) <= 250)
+        parent = DnsName.parse(".".join(base))
+        child = DnsName.parse(".".join(extra + base))
+        assert child.is_subdomain_of(parent)
+
+
+class TestMismatchClassifierProperties:
+    @given(st.lists(hostname, min_size=1, max_size=3, unique=True),
+           st.lists(hostname, min_size=1, max_size=3, unique=True))
+    @settings(max_examples=150)
+    def test_verdict_is_total_and_consistent(self, patterns, hosts):
+        verdict = classify_mismatch(patterns, hosts)
+        covered = any(policy_covers_mx(patterns, h) for h in hosts)
+        assert verdict.mismatch == (not covered)
+        if verdict.mismatch:
+            assert verdict.mismatch_class is not None

@@ -1,0 +1,117 @@
+"""Property-based tests for the zone serializer/parser round trip and
+the policy cache invariants."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.clock import Clock, Duration, Instant
+from repro.core.cache import PolicyCache
+from repro.core.policy import Policy, PolicyMode
+from repro.dns.name import DnsName
+from repro.dns.records import (
+    ARecord, CnameRecord, MxRecord, NsRecord, TxtRecord,
+)
+from repro.dns.zone import Zone, parse_master_file, serialize_zone
+from repro.netsim.ip import IpAddress
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=8)
+subname = st.lists(label, min_size=0, max_size=2)
+octet = st.integers(min_value=1, max_value=254)
+
+
+@st.composite
+def zones(draw):
+    apex = DnsName.parse(draw(label) + ".com")
+    zone = Zone(apex=apex)
+    used_names = set()
+    count = draw(st.integers(min_value=1, max_value=12))
+    for index in range(count):
+        labels = draw(subname)
+        name = apex
+        for part in labels:
+            name = name.child(part)
+        kind = draw(st.sampled_from(["a", "mx", "ns", "txt", "cname"]))
+        if kind == "cname":
+            # CNAMEs conflict with other data; use a dedicated label.
+            name = apex.child(f"alias{index}")
+            if name in used_names:
+                continue
+            zone.add(CnameRecord(name, 300,
+                                 apex.child(draw(label))))
+            used_names.add(name)
+            continue
+        if name in used_names and kind == "a":
+            continue
+        try:
+            if kind == "a":
+                zone.add(ARecord(name, 300, IpAddress.v4(
+                    10, draw(octet), draw(octet), draw(octet))))
+            elif kind == "mx":
+                zone.add(MxRecord(name, 300,
+                                  draw(st.integers(0, 99)),
+                                  apex.child(draw(label))))
+            elif kind == "ns":
+                zone.add(NsRecord(name, 300, apex.child(draw(label))))
+            else:
+                zone.add(TxtRecord(name, 300,
+                                   draw(st.text(
+                                       alphabet=string.ascii_letters
+                                       + string.digits + " =;.-",
+                                       min_size=1, max_size=40)).strip()
+                                   or "x"))
+            used_names.add(name)
+        except ValueError:
+            pass    # CNAME conflicts are legitimate rejections
+    assume(zone.record_count() > 0)
+    return zone
+
+
+class TestZoneRoundTrip:
+    @given(zones())
+    @settings(max_examples=80, deadline=None)
+    def test_serialize_parse_preserves_rdata(self, zone):
+        reparsed = parse_master_file(serialize_zone(zone))
+        assert reparsed.apex == zone.apex
+        original = {(r.name.text, r.rrtype.value, r.rdata_text())
+                    for r in zone.all_records()}
+        restored = {(r.name.text, r.rrtype.value, r.rdata_text())
+                    for r in reparsed.all_records()}
+        assert restored == original
+
+    @given(zones())
+    @settings(max_examples=30, deadline=None)
+    def test_double_round_trip_is_fixed_point(self, zone):
+        once = serialize_zone(parse_master_file(serialize_zone(zone)))
+        twice = serialize_zone(parse_master_file(once))
+        assert once == twice
+
+
+class TestCacheProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=20_000))
+    def test_freshness_boundary(self, max_age, elapsed):
+        clock = Clock(Instant.parse("2024-01-01"))
+        cache = PolicyCache(clock)
+        policy = Policy(version="STSv1", mode=PolicyMode.TESTING,
+                        max_age=max_age, mx_patterns=("a.example.com",))
+        cache.store("example.com", policy, "id1")
+        clock.advance(Duration(elapsed))
+        entry = cache.get("example.com")
+        assert (entry is not None) == (elapsed <= max_age)
+
+    @given(st.lists(st.sampled_from(
+        ["a.com", "b.com", "c.com", "A.COM", "b.com."]),
+        min_size=1, max_size=12))
+    def test_store_count_tracks_calls_and_len_distinct(self, domains):
+        clock = Clock(Instant.parse("2024-01-01"))
+        cache = PolicyCache(clock)
+        policy = Policy(version="STSv1", mode=PolicyMode.NONE,
+                        max_age=1000, mx_patterns=())
+        for domain in domains:
+            cache.store(domain, policy, "x")
+        assert cache.store_count == len(domains)
+        normalized = {d.lower().rstrip(".") for d in domains}
+        assert len(cache) == len(normalized)

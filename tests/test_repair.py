@@ -1,0 +1,101 @@
+"""Closed-loop repair tests: inject → scan → plan → apply → rescan.
+
+Every injectable fault class must map to a repair plan whose
+application makes the domain scan clean again — the proof that the
+error taxonomy is actionable, not just descriptive.
+"""
+
+import pytest
+
+from repro.ecosystem.deployment import DomainSpec, deploy_domain
+from repro.ecosystem.misconfig import Fault, apply_fault
+from repro.measurement.repair import apply_repairs, plan_repairs
+from repro.measurement.scanner import Scanner
+from repro.measurement.taxonomy import categorize
+
+REPAIRABLE_FAULTS = [
+    Fault.RECORD_MISSING_ID,
+    Fault.RECORD_INVALID_ID,
+    Fault.RECORD_BAD_VERSION,
+    Fault.RECORD_DUPLICATE,
+    Fault.POLICY_DNS_UNRESOLVABLE,
+    Fault.POLICY_TCP_CLOSED,
+    Fault.POLICY_TCP_TIMEOUT,
+    Fault.POLICY_TLS_CN_MISMATCH,
+    Fault.POLICY_TLS_SELF_SIGNED,
+    Fault.POLICY_TLS_EXPIRED,
+    Fault.POLICY_TLS_NO_CERT,
+    Fault.POLICY_HTTP_404,
+    Fault.POLICY_HTTP_500,
+    Fault.POLICY_SYNTAX_BAD_MX,
+    Fault.POLICY_SYNTAX_EMPTY,
+    Fault.POLICY_SYNTAX_MISSING_MODE,
+    Fault.MX_CERT_CN_MISMATCH,
+    Fault.MX_CERT_SELF_SIGNED,
+    Fault.MX_CERT_EXPIRED,
+    Fault.MISMATCH_TLD,
+    Fault.MISMATCH_DOMAIN,
+    Fault.MISMATCH_3LD,
+    Fault.MISMATCH_TYPO,
+    Fault.OUTDATED_POLICY,
+]
+
+
+class TestClosedLoop:
+    @pytest.mark.parametrize("fault", REPAIRABLE_FAULTS,
+                             ids=lambda f: f.value)
+    def test_plan_and_apply_heals_every_fault(self, world, fault):
+        domain = f"heal-{fault.value.replace('_', '-')}.com"
+        deployed = deploy_domain(world, DomainSpec(domain=domain))
+        apply_fault(world, deployed, fault, mx_index=None)
+        world.resolver.flush_cache()
+
+        scanner = Scanner(world)
+        broken = scanner.scan_domain(domain, 0)
+        assert categorize(broken), f"{fault.value} produced no error"
+
+        actions = plan_repairs(broken)
+        assert actions, f"{fault.value}: no repair plan"
+        applied = apply_repairs(world, deployed, actions, broken)
+        assert applied, f"{fault.value}: nothing applicable"
+
+        world.resolver.flush_cache()
+        healed = scanner.scan_domain(domain, 1)
+        assert categorize(healed) == [], (
+            f"{fault.value}: still broken after {applied}: "
+            f"{categorize(healed)}")
+
+
+class TestPlanContents:
+    def test_healthy_domain_needs_nothing(self, world, simple_domain):
+        snap = Scanner(world).scan_domain("example.com", 0)
+        assert plan_repairs(snap) == []
+
+    def test_non_sts_domain_needs_nothing(self, world):
+        deploy_domain(world, DomainSpec(domain="plain.com",
+                                        deploy_sts=False))
+        snap = Scanner(world).scan_domain("plain.com", 0)
+        assert plan_repairs(snap) == []
+
+    def test_priorities_order_policy_before_mx(self, world, simple_domain):
+        apply_fault(world, simple_domain, Fault.POLICY_HTTP_404)
+        apply_fault(world, simple_domain, Fault.MX_CERT_EXPIRED)
+        snap = Scanner(world).scan_domain("example.com", 0)
+        actions = plan_repairs(snap)
+        assert actions[0].component == "policy-host"
+        assert any(a.action == "fix-mx-certificate" for a in actions)
+
+    def test_typo_suggestion_names_actual_mx(self, world, simple_domain):
+        apply_fault(world, simple_domain, Fault.MISMATCH_TYPO)
+        world.resolver.flush_cache()
+        snap = Scanner(world).scan_domain("example.com", 0)
+        action = next(a for a in plan_repairs(snap)
+                      if a.action == "sync-mx-patterns")
+        assert "mail.example.com" in action.description
+
+    def test_render_is_operator_readable(self, world, simple_domain):
+        apply_fault(world, simple_domain, Fault.POLICY_TLS_EXPIRED)
+        snap = Scanner(world).scan_domain("example.com", 0)
+        text = plan_repairs(snap)[0].render()
+        assert "mta-sts.example.com" in text
+        assert text.startswith("1.")

@@ -1,0 +1,77 @@
+"""Tests for the §6.1 dataset-shape synthesis (test log, dedup,
+operator concentration)."""
+
+import pytest
+
+from repro.clock import Instant
+from repro.measurement.senderside import (
+    TEST_COUNT, latest_test_per_sender, operator_concentration,
+    synthesize_sender_population, synthesize_test_log,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    profiles = synthesize_sender_population()
+    return synthesize_test_log(profiles)
+
+
+class TestLogShape:
+    def test_total_and_unique_counts(self, log):
+        assert len(log) == TEST_COUNT                     # 3,806 tests
+        senders = {t.sender_domain for t in log}
+        assert len(senders) == 2_394                      # unique senders
+
+    def test_every_sender_tested_at_least_once(self, log):
+        from collections import Counter
+        counts = Counter(t.sender_domain for t in log)
+        assert min(counts.values()) >= 1
+        assert max(counts.values()) >= 2      # re-testers exist
+
+    def test_window_matches_paper(self, log):
+        start = Instant.from_date(2023, 2, 1)
+        end = Instant.from_date(2024, 11, 1)
+        assert all(start <= t.timestamp <= end for t in log)
+
+    def test_log_sorted_by_time(self, log):
+        stamps = [t.timestamp for t in log]
+        assert stamps == sorted(stamps)
+
+    def test_deterministic(self):
+        profiles = synthesize_sender_population()
+        a = synthesize_test_log(profiles, seed=9)
+        b = synthesize_test_log(profiles, seed=9)
+        assert [(t.sender_domain, t.timestamp) for t in a] == \
+            [(t.sender_domain, t.timestamp) for t in b]
+
+
+class TestDedup:
+    def test_latest_kept(self, log):
+        latest = latest_test_per_sender(log)
+        assert len(latest) == 2_394
+        from collections import defaultdict
+        by_sender = defaultdict(list)
+        for test in log:
+            by_sender[test.sender_domain].append(test)
+        for sender, tests in list(by_sender.items())[:50]:
+            assert latest[sender].timestamp == max(
+                t.timestamp for t in tests)
+
+
+class TestConcentration:
+    def test_top10_share_near_paper(self, log):
+        stats = operator_concentration(log)
+        # Paper: the top 10 operators account for 60.7% of interactions.
+        assert 0.5 <= stats["top_share"] <= 0.72
+
+    def test_outlook_and_google_lead(self, log):
+        stats = operator_concentration(log)
+        leaders = [op for op, _ in stats["top_operators"][:2]]
+        assert set(leaders) == {"outlook.com", "google.com"}
+
+    def test_shares_match_weights(self, log):
+        stats = operator_concentration(log)
+        counts = dict(stats["top_operators"])
+        total = stats["total_interactions"]
+        assert abs(counts["outlook.com"] / total - 0.2631) < 0.03
+        assert abs(counts["google.com"] / total - 0.2303) < 0.03

@@ -1,0 +1,55 @@
+"""Tests for survey CSV import/export."""
+
+import pytest
+
+from repro.survey.analysis import analyze
+from repro.survey.io import export_csv, import_csv
+from repro.survey.synthesize import synthesize_respondents
+
+
+class TestRoundTrip:
+    def test_export_import_preserves_answers(self):
+        original = synthesize_respondents()
+        loaded = import_csv(export_csv(original))
+        assert len(loaded) == len(original)
+        by_rid = {r.rid: r for r in loaded}
+        for respondent in original:
+            restored = by_rid[respondent.rid]
+            for qid, value in respondent.answers.items():
+                assert str(restored.get(qid)) == str(value), qid
+
+    def test_analysis_identical_after_round_trip(self):
+        original = analyze(synthesize_respondents())
+        loaded = analyze(import_csv(export_csv(synthesize_respondents())))
+        assert loaded.heard_of_mta_sts == original.heard_of_mta_sts
+        assert loaded.deployed == original.deployed
+        assert loaded.bottleneck_complexity == \
+            original.bottleneck_complexity
+        assert loaded.demographics == original.demographics
+
+    def test_unanswered_cells_stay_unanswered(self):
+        loaded = import_csv("rid,heard_mta_sts\n1,yes\n2,\n")
+        assert loaded[0].get("heard_mta_sts") == "yes"
+        assert loaded[1].get("heard_mta_sts") is None
+
+
+class TestValidation:
+    def test_empty_csv(self):
+        with pytest.raises(ValueError):
+            import_csv("")
+
+    def test_missing_rid_column(self):
+        with pytest.raises(ValueError):
+            import_csv("name,heard\nx,yes\n")
+
+    def test_ragged_row(self):
+        with pytest.raises(ValueError):
+            import_csv("rid,a,b\n1,x\n")
+
+    def test_non_integer_rid(self):
+        with pytest.raises(ValueError):
+            import_csv("rid,a\nfoo,x\n")
+
+    def test_blank_lines_skipped(self):
+        loaded = import_csv("rid,a\n1,x\n\n2,y\n")
+        assert [r.rid for r in loaded] == [1, 2]

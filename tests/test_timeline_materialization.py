@@ -1,0 +1,105 @@
+"""Fine-grained tests of timeline materialisation: the per-month worlds
+must reflect the fault schedules and event cohorts exactly."""
+
+import pytest
+
+from repro.core.fetch import PolicyFetcher
+from repro.ecosystem.population import (
+    DMARC_SPIKE_MONTH, LUCIDGROW_MONTH, PopulationConfig,
+)
+from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+from repro.errors import PolicyFetchStage
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return EcosystemTimeline(
+        TimelineConfig(PopulationConfig(scale=0.01, seed=11)))
+
+
+def _fetch(snapshot, domain):
+    fetcher = PolicyFetcher(snapshot.world.resolver,
+                            snapshot.world.https_client)
+    return fetcher.fetch_policy(domain)
+
+
+class TestEventMaterialisation:
+    def test_dmarc_spike_only_in_june(self, timeline):
+        spiked = [plan for plan in timeline.all_plans()
+                  if any(f.start_month == DMARC_SPIKE_MONTH
+                         and f.end_month == DMARC_SPIKE_MONTH + 1
+                         for f in plan.faults)]
+        assert spiked, "spike cohort missing"
+        target = spiked[0].name
+
+        june = timeline.materialize(DMARC_SPIKE_MONTH)
+        result = _fetch(june, target)
+        assert result.failed_stage is PolicyFetchStage.TLS
+
+        july = timeline.materialize(DMARC_SPIKE_MONTH + 1)
+        result = _fetch(july, target)
+        assert result.failed_stage is None
+
+    def test_lucidgrow_mismatch_only_in_january(self, timeline):
+        lucid = [p for p in timeline.all_plans()
+                 if p.email_provider == "Lucidgrow"]
+        assert lucid
+        target = lucid[0].name
+
+        january = timeline.materialize(LUCIDGROW_MONTH)
+        result = _fetch(january, target)
+        mx = january.deployed[target].mx_record_hostnames()
+        from repro.core.matching import policy_covers_mx
+        assert not any(policy_covers_mx(result.policy, m) for m in mx)
+
+        february = timeline.materialize(LUCIDGROW_MONTH + 1)
+        result = _fetch(february, target)
+        mx = february.deployed[target].mx_record_hostnames()
+        assert any(policy_covers_mx(result.policy, m) for m in mx)
+
+    def test_porkbun_absent_before_august(self, timeline):
+        early = timeline.materialize(0)
+        assert not any(name.startswith("pb") for name in early.deployed)
+        final = timeline.materialize(11)
+        porkbun = [name for name in final.deployed
+                   if name.startswith("pb")]
+        assert porkbun
+        # Their policy hosts present CN-mismatched certificates.
+        result = _fetch(final, porkbun[0])
+        assert result.failed_stage is PolicyFetchStage.TLS
+
+    def test_laura_norman_present_throughout(self, timeline):
+        for month in (0, 11):
+            snapshot = timeline.materialize(month)
+            assert "laura-norman.com" in snapshot.deployed
+
+
+class TestMaterialisationInvariants:
+    def test_deployed_matches_adoption(self, timeline):
+        snapshot = timeline.materialize(5)
+        week = timeline.week_of(snapshot.instant)
+        expected = {p.name for p in timeline.all_plans()
+                    if p.adopted_by_week(week)}
+        assert set(snapshot.deployed) == expected
+
+    def test_every_deployed_domain_resolves_record(self, timeline):
+        snapshot = timeline.materialize(0)
+        fetcher = PolicyFetcher(snapshot.world.resolver,
+                                snapshot.world.https_client)
+        sample = sorted(snapshot.deployed)[:40]
+        for domain in sample:
+            result = fetcher.lookup_record(domain)
+            assert result.sts_enabled, domain
+
+    def test_worlds_are_independent(self, timeline):
+        a = timeline.materialize(0)
+        b = timeline.materialize(0)
+        assert a.world is not b.world
+        # Mutating one world leaves the other intact.
+        domain = sorted(a.deployed)[0]
+        a.deployed[domain].remove_record()
+        assert _fetch(b, domain).sts_enabled
+
+    def test_plans_in_snapshot_metadata(self, timeline):
+        snapshot = timeline.materialize(3)
+        assert set(snapshot.plans) == set(snapshot.deployed)

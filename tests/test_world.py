@@ -1,0 +1,70 @@
+"""Tests for the World harness itself."""
+
+import pytest
+
+from repro.clock import Instant
+from repro.dns.dnssec import ChainStatus
+from repro.dns.name import DnsName
+from repro.dns.records import ARecord, RRType
+from repro.dns.zone import Zone
+from repro.ecosystem.world import DEFAULT_TLDS, World
+
+
+class TestWorldWiring:
+    def test_tld_servers_and_delegations(self, world):
+        for tld in DEFAULT_TLDS:
+            assert tld in world.tld_servers
+            assert world.resolver.servers_for(
+                DnsName.parse(f"x.{tld}"))
+
+    def test_tlds_are_dnssec_signed(self, world):
+        # The registries sign; individual zones opt in separately.
+        for tld in ("com", "net", "org", "se"):
+            state = world.dnssec.state_for(DnsName.parse(tld))
+            assert state is not None and state.signed
+
+    def test_custom_start_instant(self):
+        start = Instant.parse("2024-06-08")
+        world = World(start=start)
+        assert world.now() == start
+
+    def test_issue_cert_trusted(self, world):
+        from repro.pki.validation import validate_chain
+        cert = world.issue_cert(["a.example.com"])
+        assert validate_chain(cert, "a.example.com", world.trust_store,
+                              world.now()).valid
+
+    def test_issue_cert_backdating(self, world):
+        cert = world.issue_cert(["a.example.com"], lifetime_days=30,
+                                backdate_days=60)
+        assert cert.not_after < world.now()
+
+    def test_fresh_ip_pools_distinct(self, world):
+        dns_ip = world.fresh_ip("dns")
+        web_ip = world.fresh_ip("web")
+        mx_ip = world.fresh_ip("mx")
+        assert len({dns_ip.text, web_ip.text, mx_ip.text}) == 3
+
+    def test_fresh_ip_unknown_role(self, world):
+        with pytest.raises(KeyError):
+            world.fresh_ip("quantum")
+
+    def test_host_zone_registers_delegation(self, world):
+        zone = Zone(apex=DnsName.parse("hosted.org"))
+        zone.add(ARecord(DnsName.parse("hosted.org"), 300,
+                         world.fresh_ip("web")))
+        server = world.host_zone(zone)
+        assert world.server_for("hosted.org") is server
+        answer = world.resolver.resolve("hosted.org", RRType.A)
+        assert answer.records
+
+    def test_scanner_identity_configured(self, world):
+        assert world.smtp_probe.client_name == world.scanner_hostname
+        assert world.smtp_probe.client_ip == world.scanner_ip
+        addresses = world.resolver.resolve_address(world.scanner_hostname)
+        assert world.scanner_ip in addresses
+
+    def test_signed_domain_zone_chain(self, world):
+        world.dnssec.sign_zone("secure.com")
+        assert world.dnssec.validate("mail.secure.com") is \
+            ChainStatus.SECURE
