@@ -9,16 +9,19 @@ benchmarks share one campaign run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.ecosystem.timeline import EcosystemTimeline, MaterializedSnapshot
+from repro.ecosystem.timeline import (
+    EcosystemTimeline, IncrementalMaterializer, MaterializedSnapshot,
+)
 from repro.errors import ManagingEntity, MisconfigCategory
 from repro.measurement.classify import EntityClassifier, EntityVerdict
 from repro.measurement.delegation import delegation_census
+from repro.measurement.executor import ScanExecutor, ScanStats
 from repro.measurement.historical import historical_series
 from repro.measurement.inconsistency import classify_snapshot, mismatch_census
-from repro.measurement.scanner import Scanner
 from repro.measurement.snapshots import SnapshotStore
 from repro.measurement.taxonomy import SnapshotSummary, snapshot_summary
 
@@ -32,6 +35,16 @@ class CampaignAnalysis:
     verdicts_by_month: Dict[int, Dict[str, EntityVerdict]] = field(
         default_factory=dict)
     summaries: Dict[int, SnapshotSummary] = field(default_factory=dict)
+    stats_by_month: Dict[int, ScanStats] = field(default_factory=dict)
+
+    def total_stats(self) -> ScanStats:
+        """Per-stage counters and timings summed over every scan month."""
+        total = ScanStats()
+        for month in sorted(self.stats_by_month):
+            stats = self.stats_by_month[month]
+            total.backend, total.jobs = stats.backend, stats.jobs
+            total.merge(stats)
+        return total
 
     # -- Figure 4 ---------------------------------------------------------
 
@@ -167,16 +180,36 @@ class CampaignAnalysis:
 
 
 def run_campaign(timeline: EcosystemTimeline,
-                 months: Optional[List[int]] = None) -> CampaignAnalysis:
-    """Materialise and scan every requested month (default: all)."""
+                 months: Optional[List[int]] = None,
+                 *, incremental: bool = True,
+                 executor: Optional[ScanExecutor] = None) -> CampaignAnalysis:
+    """Materialise and scan every requested month (default: all).
+
+    ``incremental`` materialises consecutive months by diffing one
+    long-lived world (:class:`IncrementalMaterializer`); pass ``False``
+    to rebuild each month from scratch — the slower reference path the
+    equivalence tests compare against.  *executor* selects the scan
+    backend (default: a serial :class:`ScanExecutor`); per-month
+    :class:`ScanStats` land in ``analysis.stats_by_month``.
+    """
     if months is None:
         months = list(range(len(timeline.scan_instants)))
+    executor = executor if executor is not None else ScanExecutor()
+    materializer = IncrementalMaterializer(timeline) if incremental else None
     store = SnapshotStore()
     analysis = CampaignAnalysis(timeline=timeline, store=store)
     for month in months:
-        materialized = timeline.materialize(month)
-        scanner = Scanner(materialized.world)
-        scanner.scan_all(materialized.deployed.keys(), month, store)
+        built_at = time.perf_counter()
+        if materializer is not None:
+            materialized = materializer.materialize(month)
+        else:
+            materialized = timeline.materialize(month)
+        build_seconds = time.perf_counter() - built_at
+        _, stats = executor.scan(
+            materialized.world, materialized.deployed.keys(), month,
+            store, materialized.instant)
+        stats.world_build_seconds = build_seconds
+        analysis.stats_by_month[month] = stats
         month_snaps = store.month(month)
         verdicts = EntityClassifier(month_snaps).classify_all()
         analysis.verdicts_by_month[month] = verdicts

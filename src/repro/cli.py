@@ -8,8 +8,10 @@
   assessment of a domain's MTA-STS posture from its zone file;
 * ``plan-removal <max_age_seconds>`` — print the RFC 8461 §2.6 removal
   sequence for a policy with the given max_age;
-* ``audit [--scale S]``         — run the synthetic-ecosystem scan for
-  the final snapshot and print the misconfiguration census;
+* ``audit [--scale S] [--backend B --jobs N] [--stats]`` — run the
+  synthetic-ecosystem scan for the final snapshot and print the
+  misconfiguration census (and, with ``--stats``, the per-stage scan
+  statistics);
 * ``survey``                    — print the §7.2 survey statistics.
 """
 
@@ -88,19 +90,25 @@ def _cmd_plan_removal(args) -> int:
 
 
 def _cmd_audit(args) -> int:
+    import time
+
     from repro.ecosystem.population import PopulationConfig
     from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
     from repro.measurement.classify import EntityClassifier
-    from repro.measurement.scanner import Scanner
+    from repro.measurement.executor import ScanExecutor
     from repro.measurement.taxonomy import snapshot_summary
 
     timeline = EcosystemTimeline(
         TimelineConfig(PopulationConfig(scale=args.scale, seed=args.seed)))
     month = (args.month if args.month is not None
              else len(timeline.scan_instants) - 1)
+    built_at = time.perf_counter()
     materialized = timeline.materialize(month)
-    scanner = Scanner(materialized.world)
-    store = scanner.scan_all(materialized.deployed.keys(), month)
+    build_seconds = time.perf_counter() - built_at
+    executor = ScanExecutor(backend=args.backend, jobs=args.jobs)
+    store, stats = executor.scan(
+        materialized.world, materialized.deployed.keys(), month)
+    stats.world_build_seconds = build_seconds
     snapshots = store.month(month)
     summary = snapshot_summary(
         snapshots, EntityClassifier(snapshots).classify_all())
@@ -127,6 +135,10 @@ def _cmd_audit(args) -> int:
             print(f"\n  repair plan for {snapshot.domain}:")
             for action in actions:
                 print(f"    {action.render()}")
+
+    if args.stats:
+        print()
+        print(stats.render_table())
     return 0
 
 
@@ -195,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="print repair plans for N misconfigured "
                             "domains")
+    audit.add_argument("--backend", choices=("serial", "threaded"),
+                       default="serial",
+                       help="scan execution backend (both produce "
+                            "identical snapshots)")
+    audit.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker threads for the threaded backend")
+    audit.add_argument("--stats", action="store_true",
+                       help="print the per-stage scan statistics table")
     audit.set_defaults(handler=_cmd_audit)
 
     survey = sub.add_parser("survey", help="print the §7.2 statistics")

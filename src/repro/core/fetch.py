@@ -96,6 +96,9 @@ class PolicyFetcher:
     def __init__(self, resolver: Resolver, https_client: HttpsClient):
         self._resolver = resolver
         self._https = https_client
+        #: Full discovery pipelines run (record lookup + HTTPS fetch);
+        #: surfaced by the scan instrumentation (``ScanStats``).
+        self.fetch_count = 0
 
     def lookup_record(self, domain: str | DnsName) -> PolicyFetchResult:
         """Stage 1 only: the ``_mta-sts`` TXT lookup and evaluation."""
@@ -128,6 +131,7 @@ class PolicyFetcher:
         fetches the policy when the record is present but malformed, so
         every component's health is measured independently.
         """
+        self.fetch_count += 1
         result = self.lookup_record(domain)
         if not result.sts_enabled:
             return result

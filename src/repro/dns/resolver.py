@@ -66,6 +66,7 @@ class Resolver:
         self._negative_ttl = negative_ttl
         self.query_count = 0
         self.cache_hits = 0
+        self.negative_cache_hits = 0
 
     # -- delegation registry -------------------------------------------
 
@@ -82,14 +83,18 @@ class Resolver:
         self._delegations.pop(apex, None)
 
     def servers_for(self, name: DnsName) -> List[IpAddress]:
-        best_apex: DnsName | None = None
-        for apex in self._delegations:
-            if name.is_subdomain_of(apex):
-                if best_apex is None or apex.label_count() > best_apex.label_count():
-                    best_apex = apex
-        if best_apex is None:
-            return []
-        return self._delegations[best_apex]
+        # Longest-suffix match via direct dict probes: every suffix of
+        # *name* is a candidate apex, and the longest one wins.  This is
+        # O(labels) instead of O(registered zones) — the delegation
+        # registry holds one entry per deployed domain, so a linear scan
+        # here dominated the entire scan pipeline at ecosystem scale.
+        labels = name.labels
+        delegations = self._delegations
+        for i in range(len(labels)):
+            servers = delegations.get(DnsName(labels[i:]))
+            if servers is not None:
+                return servers
+        return []
 
     # -- resolution -----------------------------------------------------
 
@@ -158,6 +163,7 @@ class Resolver:
             if entry is not None and entry.expires > now:
                 self.cache_hits += 1
                 if entry.negative is not None:
+                    self.negative_cache_hits += 1
                     raise entry.negative(f"{name}/{rrtype.value} (cached)")
                 records = entry.records or []
                 cname = None
@@ -215,3 +221,25 @@ class Resolver:
 
     def flush_cache(self) -> None:
         self._cache.clear()
+
+    # -- instrumentation --------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, int | float]:
+        """Counters for the scan instrumentation layer (``ScanStats``).
+
+        ``cache_hits`` includes negative (NXDOMAIN/NODATA) hits;
+        ``negative_cache_hits`` breaks those out separately.
+        """
+        lookups = self.query_count + self.cache_hits
+        return {
+            "queries": self.query_count,
+            "cache_hits": self.cache_hits,
+            "negative_cache_hits": self.negative_cache_hits,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "entries": len(self._cache),
+        }
+
+    def reset_stats(self) -> None:
+        self.query_count = 0
+        self.cache_hits = 0
+        self.negative_cache_hits = 0

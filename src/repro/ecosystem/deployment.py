@@ -25,9 +25,9 @@ from repro.dns.zone import Zone
 from repro.ecosystem.providers import EmailProvider, PolicyHostProvider
 from repro.ecosystem.world import World
 from repro.netsim.ip import IpAddress
-from repro.smtp.server import MxHost
+from repro.smtp.server import SMTP_PORT, MxHost
 from repro.tls.handshake import TlsEndpoint
-from repro.web.server import WebServer
+from repro.web.server import HTTPS_PORT, WebServer
 
 
 @dataclass
@@ -195,6 +195,85 @@ def deploy_domain(world: World, spec: DomainSpec) -> DeployedDomain:
                            spec.tlsrpt.render()))
 
     return deployed
+
+
+def undeploy_domain(world: World, deployed: DeployedDomain) -> None:
+    """Tear down everything :func:`deploy_domain` (and any fault applied
+    on top of it) built for one domain, so the incremental materializer
+    can redeploy the domain from its current spec.
+
+    Shared provider infrastructure survives — only the *per-customer*
+    state is withdrawn: the domain's zone and its authoritative server,
+    self-managed MX listeners, the self-managed policy web server, the
+    provider-side hosted policy, per-customer TLS entries (certificates
+    and SNI alerts), and per-customer canonical DNS.  A canonical host
+    shared by every customer (Tutanota's ``_mta-sts.tutanota.de``) is
+    never withdrawn.
+    """
+    spec = deployed.spec
+    domain = deployed.domain
+
+    # Self-managed MX hosts, including any standalone migration host an
+    # OUTDATED_POLICY fault appended.  Hosts living under a foreign SLD
+    # keep their zone (it may be redeployed into), but their A record
+    # must go so a redeploy can re-point it at the replacement listener.
+    for host in deployed.mx_hosts:
+        world.network.unregister(host.ip, SMTP_PORT)
+        if not host.hostname.endswith("." + domain):
+            _remove_foreign_a_record(world, host.hostname, host.ip)
+
+    # The lucidgrow pattern: a per-customer MX under the provider's SLD,
+    # registered outside deployed.mx_hosts.
+    provider = spec.email_provider
+    if provider is not None and provider.assigns_unique_mx_per_customer:
+        hostname = spec.intended_mx()[0]
+        server = world.server_for(provider.sld)
+        zone = server.zone_for(DnsName.parse(provider.sld)) if server else None
+        if zone is not None:
+            name = DnsName.parse(hostname)
+            for record in zone.lookup(name, RRType.A):
+                world.network.unregister(record.address, SMTP_PORT)
+            zone.remove(name, RRType.A)
+
+    # Policy hosting.
+    if deployed.policy_server is not None:
+        world.network.unregister(deployed.policy_server.ip, HTTPS_PORT)
+    policy_provider = spec.policy_provider
+    if policy_provider is not None and policy_provider.web_server is not None:
+        web = policy_provider.web_server
+        policy_host = f"mta-sts.{domain}"
+        web.unhost_policy(domain)
+        web.tls.uninstall(policy_host)
+        web.tls.alert_snis.discard(policy_host)
+        policy_provider.hosted_policies.pop(domain, None)
+        if (policy_provider.delegate_via_cname
+                and "{" in policy_provider.cname_pattern):
+            # Per-customer canonical host only; a placeholder-free
+            # pattern is one shared host serving every customer.
+            policy_provider._withdraw_canonical_dns(world, domain)
+
+    # Finally the zone itself and its authoritative server.
+    world.unhost_zone(domain)
+
+
+def _remove_foreign_a_record(world: World, hostname: str,
+                             ip: IpAddress) -> None:
+    """Drop *hostname*'s A record from whichever hosted zone serves it."""
+    name = DnsName.parse(hostname)
+    for i in range(1, len(name.labels)):
+        apex = DnsName(name.labels[i:])
+        server = world.server_for(apex.text)
+        if server is None:
+            continue
+        zone = server.zone_for(apex)
+        if zone is None:
+            continue
+        remaining = [r for r in zone.lookup(name, RRType.A)
+                     if r.address != ip]
+        zone.remove(name, RRType.A)
+        for record in remaining:
+            zone.add(record)
+        return
 
 
 def _deploy_unique_provider_mx(world: World, spec: DomainSpec,

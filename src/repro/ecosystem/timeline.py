@@ -19,7 +19,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.clock import Instant, WEEK, monthly_instants
 from repro.core.policy import Policy, PolicyMode
-from repro.ecosystem.deployment import DeployedDomain, DomainSpec, deploy_domain
+from repro.ecosystem.deployment import (
+    DeployedDomain, DomainSpec, deploy_domain, undeploy_domain,
+)
 from repro.ecosystem.misconfig import Fault, apply_fault
 from repro.ecosystem.population import (
     DomainPlan, PopulationConfig, TldPopulation, generate_population,
@@ -149,37 +151,50 @@ class EcosystemTimeline:
     # -- materialisation -------------------------------------------------------
 
     def materialize(self, month_index: int) -> MaterializedSnapshot:
-        """Build the live world for scan month *month_index*."""
+        """Build the live world for scan month *month_index* from
+        scratch (the reference, slow path; see
+        :class:`IncrementalMaterializer` for the delta-applying one)."""
+        return self._snapshot(self._build_full(month_index))
+
+    def _build_full(self, month_index: int) -> "_WorldState":
         instant = self.scan_instants[month_index]
         week = self.week_of(instant)
         world = World(start=instant)
 
-        policy_providers = {p.name: p for p in
-                            table2_providers() + generic_providers()}
-        email_providers = {p.name: p for p in default_email_providers()}
+        state = _WorldState(
+            world=world, month_index=month_index,
+            policy_providers={p.name: p for p in
+                              table2_providers() + generic_providers()},
+            email_providers={p.name: p for p in default_email_providers()})
         # The misconfiguration injector consults this registry when a
         # domain migrates between hosting providers (OUTDATED_POLICY).
-        world.email_providers = email_providers
-        boutique_hosts: Dict[str, PolicyHostProvider] = {}
+        world.email_providers = state.email_providers
 
-        deployed: Dict[str, DeployedDomain] = {}
-        plans: Dict[str, DomainPlan] = {}
         for plan in self.all_plans():
-            if not plan.adopted_by_week(week):
-                continue
-            plans[plan.name] = plan
-            spec = self._spec_for(plan, week, month_index, world,
-                                  policy_providers, email_providers,
-                                  boutique_hosts)
-            domain = deploy_domain(world, spec)
-            for scheduled in plan.faults_at(month_index):
-                apply_fault(world, domain, scheduled.fault,
-                            mx_index=scheduled.mx_index)
-            deployed[plan.name] = domain
+            if plan.adopted_by_week(week):
+                self._deploy_plan(state, plan, week, month_index)
+        return state
+
+    def _deploy_plan(self, state: "_WorldState", plan: DomainPlan,
+                     week: int, month_index: int) -> None:
+        spec = self._spec_for(plan, week, month_index, state.world,
+                              state.policy_providers, state.email_providers,
+                              state.boutique_hosts)
+        domain = deploy_domain(state.world, spec)
+        for scheduled in plan.faults_at(month_index):
+            apply_fault(state.world, domain, scheduled.fault,
+                        mx_index=scheduled.mx_index)
+        state.deployed[plan.name] = domain
+        state.plans[plan.name] = plan
+        state.signatures[plan.name] = _plan_signature(plan, week, month_index)
+
+    def _snapshot(self, state: "_WorldState") -> MaterializedSnapshot:
         return MaterializedSnapshot(
-            month_index=month_index, instant=instant, world=world,
-            deployed=deployed, policy_providers=policy_providers,
-            email_providers=email_providers, plans=plans)
+            month_index=state.month_index,
+            instant=self.scan_instants[state.month_index],
+            world=state.world, deployed=state.deployed,
+            policy_providers=state.policy_providers,
+            email_providers=state.email_providers, plans=state.plans)
 
     def _spec_for(self, plan: DomainPlan, week: int, month_index: int,
                   world: World,
@@ -225,6 +240,99 @@ class EcosystemTimeline:
             spec.tlsrpt = TlsRptRecord(
                 "TLSRPTv1", (f"mailto:tls-reports@{plan.name}",))
         return spec
+
+
+@dataclass
+class _WorldState:
+    """The long-lived build context behind one (possibly incremental)
+    materialisation: the world plus every handle needed to diff it
+    against the next month's plan set."""
+
+    world: World
+    month_index: int
+    policy_providers: Dict[str, PolicyHostProvider]
+    email_providers: Dict[str, EmailProvider]
+    boutique_hosts: Dict[str, PolicyHostProvider] = field(default_factory=dict)
+    deployed: Dict[str, DeployedDomain] = field(default_factory=dict)
+    plans: Dict[str, DomainPlan] = field(default_factory=dict)
+    #: domain -> the deployment-relevant signature it was built with
+    signatures: Dict[str, tuple] = field(default_factory=dict)
+
+
+def _plan_signature(plan: DomainPlan, week: int, month_index: int) -> tuple:
+    """Everything about a plan's materialisation that can change from
+    one scan month to the next.
+
+    A plan's spec is otherwise a constant function of the plan (record
+    id, mode, providers, MX layout), so a domain only needs redeploying
+    when its TLSRPT record flips or its set of active faults changes.
+    """
+    return (plan.has_tlsrpt_at_week(week),
+            tuple(sorted((f.fault.value,
+                          -1 if f.mx_index is None else f.mx_index)
+                         for f in plan.faults_at(month_index))))
+
+
+class IncrementalMaterializer:
+    """Materialises consecutive scan months by diffing, not rebuilding.
+
+    The from-scratch :meth:`EcosystemTimeline.materialize` rebuilds the
+    entire simulated internet for every scan month, although only a few
+    percent of domains change between consecutive months (new
+    adoptions, fault onsets, TLSRPT flips, the event cohorts).  This
+    materializer keeps one long-lived world and, per month, advances
+    the clock, renews lapsed certificates (the role monthly rebuilding
+    played implicitly), deploys newly adopted domains, and
+    redeploys exactly the domains whose :func:`_plan_signature`
+    changed.
+
+    Equivalence with full rebuilds is by construction *modulo IP
+    addresses* (the allocation order differs, the sharing structure —
+    which drives entity classification — does not) and certificate
+    validity windows (fresh versus renewed, both valid); every other
+    snapshot field is identical, which the equivalence tests assert
+    month by month.
+
+    ``full_rebuild=True`` is the escape hatch: it discards the state
+    and rebuilds from scratch, as does any non-monotonic month request.
+    """
+
+    def __init__(self, timeline: EcosystemTimeline):
+        self._timeline = timeline
+        self._state: Optional[_WorldState] = None
+
+    def materialize(self, month_index: int,
+                    *, full_rebuild: bool = False) -> MaterializedSnapshot:
+        timeline = self._timeline
+        state = self._state
+        if (full_rebuild or state is None
+                or month_index <= state.month_index):
+            self._state = timeline._build_full(month_index)
+            return timeline._snapshot(self._state)
+
+        previous_instant = timeline.scan_instants[state.month_index]
+        instant = timeline.scan_instants[month_index]
+        week = timeline.week_of(instant)
+        world = state.world
+        world.clock.advance_to(instant)
+        # A fresh world starts with an empty resolver cache; every TTL
+        # in the simulation is shorter than a scan interval anyway.
+        world.resolver.flush_cache()
+        world.renew_certificates(valid_at=previous_instant)
+
+        for plan in timeline.all_plans():
+            if not plan.adopted_by_week(week):
+                continue
+            existing = state.deployed.get(plan.name)
+            if existing is None:
+                timeline._deploy_plan(state, plan, week, month_index)
+                continue
+            signature = _plan_signature(plan, week, month_index)
+            if signature != state.signatures[plan.name]:
+                undeploy_domain(world, existing)
+                timeline._deploy_plan(state, plan, week, month_index)
+        state.month_index = month_index
+        return timeline._snapshot(state)
 
 
 _FLAWED_FAULTS = {

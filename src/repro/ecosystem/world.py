@@ -127,6 +127,59 @@ class World:
                                           lifetime_days=lifetime_days),
                              backdate_days=backdate_days)
 
+    def unhost_zone(self, apex: str | DnsName) -> None:
+        """Tear down a zone hosted via :meth:`host_zone`: withdraw the
+        delegation and unplug the zone's authoritative server.  Used by
+        the incremental materializer when a domain is redeployed."""
+        apex_text = apex.text if isinstance(apex, DnsName) else apex
+        server = self._domain_servers.pop(apex_text, None)
+        self.resolver.undelegate(apex_text)
+        if server is not None:
+            from repro.dns.server import DNS_PORT
+            self.network.unregister(server.ip, DNS_PORT)
+
+    def renew_certificates(self, *, valid_at: Instant) -> int:
+        """Renew every lapsed CA-issued certificate still in service.
+
+        A full monthly rebuild mints fresh certificates, so nothing in
+        a from-scratch world is ever *accidentally* expired; in a
+        long-lived incremental world, 90-day leaf certificates lapse
+        between scans unless someone plays the CA's renewal role.  This
+        walks every TLS endpoint on the network and reissues (same
+        names, same key) each certificate that our CA signed, that was
+        still valid at *valid_at* (the previous scan instant), and that
+        has since expired.  Certificates that were already invalid at
+        *valid_at* — deliberately expired, self-signed, or revoked
+        fault injections — are left broken, exactly as a negligent
+        operator would.  Returns the number of renewals.
+        """
+        now = self.clock.now()
+        renewed: Dict[str, object] = {}
+        seen: set[int] = set()
+        count = 0
+        for listener in self.network.listeners():
+            tls = getattr(listener.app, "tls", None)
+            if tls is None or id(tls) in seen:
+                continue
+            seen.add(id(tls))
+            for pattern, cert in list(tls.certificates.items()):
+                if (cert.is_ca or cert.self_signed or cert.revoked
+                        or cert.issuer_key != self.ca.key
+                        or not cert.valid_at(valid_at)
+                        or cert.valid_at(now)):
+                    continue
+                fingerprint = cert.cert_fingerprint()
+                fresh = renewed.get(fingerprint)
+                if fresh is None:
+                    fresh = self.ca.issue(CertTemplate(
+                        names=list(cert.san) or [cert.subject_cn],
+                        key=cert.key, lifetime_days=365))
+                    renewed[fingerprint] = fresh
+                    count += 1
+                tls.install(pattern, fresh,
+                            default=tls.default_certificate is cert)
+        return count
+
     def server_for(self, apex: str) -> Optional[AuthoritativeServer]:
         return self._domain_servers.get(apex)
 

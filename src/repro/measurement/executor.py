@@ -1,0 +1,231 @@
+"""Scan execution: backends, sharding, and per-stage instrumentation.
+
+The paper's monthly component scans cover every MTA-STS domain in four
+TLD zone files — at that scale the scan pipeline's cost, not the
+analysis, dominates a campaign.  :class:`ScanExecutor` runs one
+month's scan through a pluggable backend:
+
+``serial``
+    one :class:`~repro.measurement.scanner.Scanner` walks the domains
+    in canonical (sorted) order — the reference execution;
+
+``threaded``
+    the canonical domain order is cut into *jobs* deterministic
+    contiguous shards, each scanned by its own ``Scanner`` over the
+    shared world, and the per-shard stores are merged back in
+    canonical order.
+
+Both backends produce byte-identical
+:class:`~repro.measurement.snapshots.SnapshotStore` contents (the
+determinism tests assert this through ``canonical_bytes()``): a
+domain's snapshot is a pure function of the world and the scan
+instant, the per-snapshot memo caches (SMTP probe results keyed by MX
+hostname, PKIX verdicts keyed by certificate fingerprint) are
+compute-once under a lock, and the merge order is fixed.
+
+Every scan also yields a :class:`ScanStats` — the per-stage counter
+and timing block (DNS queries and cache hits, policy fetches, SMTP
+probes, PKIX validations, wall-clock splits) surfaced by ``Scanner``
+consumers, the CLI ``audit`` command, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.clock import Instant
+from repro.ecosystem.world import World
+from repro.measurement.scanner import Scanner
+from repro.measurement.snapshots import SnapshotStore
+from repro.pki.validation import chain_cache_stats, flush_chain_cache
+
+BACKENDS = ("serial", "threaded")
+
+
+@dataclass
+class ScanStats:
+    """Per-stage counters and timings for one (or several) scans.
+
+    Counters are deltas measured around the scan, so a shared resolver
+    or probe arriving with non-zero lifetime totals does not skew the
+    numbers.  ``merge`` folds several months together; counters and
+    timings add, ``domains_scanned`` accumulates.
+    """
+
+    backend: str = "serial"
+    jobs: int = 1
+    months: int = 0
+    domains_scanned: int = 0
+    # wall-clock splits (seconds)
+    world_build_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    # DNS stage
+    dns_queries: int = 0
+    dns_cache_hits: int = 0
+    dns_negative_cache_hits: int = 0
+    # policy stage
+    policy_fetches: int = 0
+    # SMTP stage
+    smtp_probes: int = 0
+    smtp_probe_cache_hits: int = 0
+    # PKIX offline validation
+    pkix_validations: int = 0
+    pkix_cache_hits: int = 0
+
+    _COUNTERS = ("months", "domains_scanned", "world_build_seconds",
+                 "scan_seconds", "dns_queries", "dns_cache_hits",
+                 "dns_negative_cache_hits", "policy_fetches",
+                 "smtp_probes", "smtp_probe_cache_hits",
+                 "pkix_validations", "pkix_cache_hits")
+
+    def merge(self, other: "ScanStats") -> None:
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> Dict[str, int | float | str]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def _hit_line(label: str, work: int, hits: int) -> str:
+        total = work + hits
+        rate = 100.0 * hits / total if total else 0.0
+        return (f"  {label:<22} {work:>9,}   "
+                f"cache hits {hits:>9,}  ({rate:5.1f}%)")
+
+    def render_table(self) -> str:
+        """The human-readable stats block printed by ``audit --stats``."""
+        lines = [
+            f"scan stats  [backend={self.backend} jobs={self.jobs} "
+            f"months={self.months}]",
+            f"  {'domains scanned':<22} {self.domains_scanned:>9,}",
+            self._hit_line("dns queries", self.dns_queries,
+                           self.dns_cache_hits),
+            f"  {'dns negative hits':<22} "
+            f"{self.dns_negative_cache_hits:>9,}",
+            f"  {'policy fetches':<22} {self.policy_fetches:>9,}",
+            self._hit_line("smtp probes", self.smtp_probes,
+                           self.smtp_probe_cache_hits),
+            self._hit_line("pkix validations", self.pkix_validations,
+                           self.pkix_cache_hits),
+            f"  {'world build':<22} {self.world_build_seconds:>10.2f}s",
+            f"  {'scan':<22} {self.scan_seconds:>10.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+def partition_domains(domains: Iterable[str],
+                      shards: int) -> List[List[str]]:
+    """Cut the canonical domain order into *shards* contiguous slices.
+
+    Deterministic: the same domain set and shard count always yield
+    the same partition, independent of input order or duplicates.
+    Sizes differ by at most one, earlier shards taking the remainder.
+    """
+    ordered = sorted({d.lower().rstrip(".") for d in domains})
+    shards = max(1, min(shards, len(ordered)) if ordered else 1)
+    base, remainder = divmod(len(ordered), shards)
+    slices: List[List[str]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < remainder else 0)
+        slices.append(ordered[start:start + size])
+        start += size
+    return slices
+
+
+class ScanExecutor:
+    """Runs one month's scan through a configurable backend.
+
+    The executor owns the scan-scoped cache lifecycle: it turns on the
+    SMTP probe memo cache for the duration of one snapshot scan and
+    flushes it afterwards (a probe result is only valid while the
+    world does not mutate), and it flushes the PKIX chain cache at
+    scan start so memory stays bounded across a long campaign.
+    """
+
+    def __init__(self, *, backend: str = "serial", jobs: int = 1):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.backend = backend
+        self.jobs = jobs if backend == "threaded" else 1
+
+    def scan(self, world: World, domains: Iterable[str], month_index: int,
+             store: Optional[SnapshotStore] = None,
+             instant: Optional[Instant] = None,
+             ) -> tuple[SnapshotStore, ScanStats]:
+        """Scan *domains* in *world*, returning the store and stats."""
+        store = store if store is not None else SnapshotStore()
+        instant = instant if instant is not None else world.now()
+        shards = partition_domains(domains, self.jobs)
+
+        resolver = world.resolver
+        probe = world.smtp_probe
+        probe_was_cached = probe.cache_enabled
+        probe.cache_enabled = True
+        probe.flush_cache()
+        flush_chain_cache()
+
+        before = self._counters(world)
+        started = time.perf_counter()
+        try:
+            if self.backend == "threaded" and len(shards) > 1:
+                scanners = self._scan_threaded(world, shards, month_index,
+                                               instant, store)
+            else:
+                scanner = Scanner(world)
+                scanner.scan_all(
+                    [d for shard in shards for d in shard],
+                    month_index, store, instant)
+                scanners = [scanner]
+        finally:
+            probe.flush_cache()
+            probe.cache_enabled = probe_was_cached
+        elapsed = time.perf_counter() - started
+
+        after = self._counters(world)
+        stats = ScanStats(
+            backend=self.backend, jobs=self.jobs, months=1,
+            domains_scanned=sum(len(shard) for shard in shards),
+            scan_seconds=elapsed,
+            policy_fetches=sum(s.policy_fetches for s in scanners),
+            **{name: after[name] - before[name] for name in after},
+        )
+        return store, stats
+
+    def _scan_threaded(self, world: World, shards: Sequence[List[str]],
+                       month_index: int, instant: Instant,
+                       store: SnapshotStore) -> List[Scanner]:
+        """One Scanner per shard; merge shard stores in shard order."""
+        scanners = [Scanner(world) for _ in shards]
+        shard_stores = [SnapshotStore() for _ in shards]
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [
+                pool.submit(scanner.scan_all, shard, month_index,
+                            shard_store, instant)
+                for scanner, shard, shard_store
+                in zip(scanners, shards, shard_stores)
+            ]
+            for future in futures:
+                future.result()
+        for shard_store in shard_stores:
+            store.merge(shard_store)
+        return scanners
+
+    @staticmethod
+    def _counters(world: World) -> Dict[str, int]:
+        pkix = chain_cache_stats()
+        return {
+            "dns_queries": world.resolver.query_count,
+            "dns_cache_hits": world.resolver.cache_hits,
+            "dns_negative_cache_hits": world.resolver.negative_cache_hits,
+            "smtp_probes": world.smtp_probe.probes_performed,
+            "smtp_probe_cache_hits": world.smtp_probe.cache_hits,
+            "pkix_validations": int(pkix["validations"]),
+            "pkix_cache_hits": int(pkix["cache_hits"]),
+        }

@@ -39,6 +39,11 @@ class Scanner:
         self._fetcher = PolicyFetcher(world.resolver, world.https_client)
         self._probe: SmtpProbe = world.smtp_probe
 
+    @property
+    def policy_fetches(self) -> int:
+        """Policy discovery pipelines this scanner has run (ScanStats)."""
+        return self._fetcher.fetch_count
+
     def scan_domain(self, domain: str, month_index: int,
                     instant: Optional[Instant] = None) -> DomainSnapshot:
         domain = domain.lower().rstrip(".")
@@ -53,10 +58,19 @@ class Scanner:
         return snapshot
 
     def scan_all(self, domains: Iterable[str], month_index: int,
-                 store: Optional[SnapshotStore] = None) -> SnapshotStore:
+                 store: Optional[SnapshotStore] = None,
+                 instant: Optional[Instant] = None) -> SnapshotStore:
+        """Scan every domain into *store* at one shared *instant*.
+
+        The instant is resolved once and threaded through to every
+        :meth:`scan_domain` call, so all snapshots of one scan month
+        carry the same timestamp even if the world clock moves while
+        the scan is in flight.
+        """
         store = store if store is not None else SnapshotStore()
+        instant = instant if instant is not None else self._world.now()
         for domain in domains:
-            store.add(self.scan_domain(domain, month_index))
+            store.add(self.scan_domain(domain, month_index, instant))
         return store
 
     # -- stages -------------------------------------------------------------

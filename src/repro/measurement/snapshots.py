@@ -11,7 +11,8 @@ analyses (Figures 4-10) need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.clock import Instant
@@ -102,6 +103,17 @@ class DomainSnapshot:
     def enforce_mode(self) -> bool:
         return self.policy_mode == "enforce"
 
+    def to_dict(self) -> dict:
+        """A plain-data view of every recorded field.
+
+        ``Instant`` collapses to its epoch seconds, so the output is
+        JSON-serialisable and two snapshots are equal exactly when the
+        scanner recorded the same observations.
+        """
+        data = asdict(self)
+        data["instant"] = self.instant.epoch_seconds
+        return data
+
 
 class SnapshotStore:
     """All snapshots of one measurement campaign."""
@@ -113,6 +125,14 @@ class SnapshotStore:
     def add(self, snapshot: DomainSnapshot) -> None:
         self._by_key[(snapshot.month_index, snapshot.domain)] = snapshot
         self._months.add(snapshot.month_index)
+
+    def merge(self, other: "SnapshotStore") -> None:
+        """Fold *other*'s snapshots in, in canonical (month, domain)
+        order.  The scan executor merges per-shard stores through this,
+        so a parallel scan assembles the same store a serial one does.
+        """
+        for key in sorted(other._by_key):
+            self.add(other._by_key[key])
 
     def months(self) -> List[int]:
         return sorted(self._months)
@@ -138,3 +158,15 @@ class SnapshotStore:
 
     def __len__(self) -> int:
         return len(self._by_key)
+
+    def canonical_bytes(self) -> bytes:
+        """A deterministic byte serialisation of the whole store.
+
+        Snapshots are emitted in sorted (month, domain) order with
+        sorted JSON keys, so two stores serialise identically iff they
+        hold the same observations — the determinism tests compare
+        serial and threaded scan outputs byte-for-byte through this.
+        """
+        rows = [self._by_key[key].to_dict() for key in sorted(self._by_key)]
+        return json.dumps(rows, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")

@@ -109,3 +109,7 @@ class Network:
 
     def endpoints(self) -> list[Tuple[str, int]]:
         return sorted(self._listeners)
+
+    def listeners(self) -> list[Listener]:
+        """Every registered listener, in deterministic endpoint order."""
+        return [self._listeners[key] for key in sorted(self._listeners)]

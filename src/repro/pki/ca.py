@@ -15,6 +15,10 @@ class TrustStore:
 
     def __init__(self, roots: Optional[List[Certificate]] = None):
         self._roots: Dict[str, Certificate] = {}
+        #: Bumped on every root change; the chain-validation cache in
+        #: :mod:`repro.pki.validation` keys on it so a mutated store
+        #: never serves stale verdicts.
+        self.generation = 0
         for root in roots or []:
             self.add_root(root)
 
@@ -22,9 +26,11 @@ class TrustStore:
         if not root.is_ca:
             raise ValueError("trust anchors must be CA certificates")
         self._roots[root.cert_fingerprint()] = root
+        self.generation += 1
 
     def remove_root(self, root: Certificate) -> None:
         self._roots.pop(root.cert_fingerprint(), None)
+        self.generation += 1
 
     def is_trusted_root(self, cert: Certificate) -> bool:
         return cert.cert_fingerprint() in self._roots

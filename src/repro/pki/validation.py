@@ -10,8 +10,10 @@ missing/untrusted certificates.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.clock import Instant
 from repro.dns.name import DnsName
@@ -96,6 +98,91 @@ def validate_chain(cert: Optional[Certificate],
         return ValidationResult.fail(TlsFailure.REVOKED, "certificate revoked")
 
     return verify_hostname(cert, hostname)
+
+
+class _ChainValidationCache:
+    """Memoizes :func:`validate_chain` outcomes.
+
+    The scan pipeline validates the same certificates over and over —
+    provider MX farms and wildcard policy-host certificates are
+    presented to thousands of domains per snapshot.  ``validate_chain``
+    is a pure function of (certificate, hostname, trust store contents,
+    instant), so its result is cached keyed by the certificate
+    fingerprint plus those inputs.  Trust stores are held weakly and
+    carry a ``generation`` counter bumped on root changes, so mutating
+    a store can never serve a stale verdict.
+    """
+
+    def __init__(self):
+        self._stores: "weakref.WeakKeyDictionary[TrustStore, Dict[Tuple, ValidationResult]]" = (
+            weakref.WeakKeyDictionary())
+        self._lock = threading.Lock()
+        self.validations = 0
+        self.cache_hits = 0
+
+    def validate(self, cert: Optional[Certificate],
+                 hostname: str | DnsName,
+                 trust_store: TrustStore, now: Instant) -> ValidationResult:
+        if cert is None:
+            return validate_chain(cert, hostname, trust_store, now)
+        host = (hostname.text if isinstance(hostname, DnsName)
+                else hostname).lower().rstrip(".")
+        # ``revoked`` is excluded from the fingerprint's signed payload,
+        # so it is part of the key explicitly.
+        key = (cert.cert_fingerprint(), cert.revoked, host,
+               getattr(trust_store, "generation", 0), now.epoch_seconds)
+        with self._lock:
+            entries = self._stores.get(trust_store)
+            if entries is None:
+                entries = {}
+                self._stores[trust_store] = entries
+            cached = entries.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.validations += 1
+            result = validate_chain(cert, host, trust_store, now)
+            entries[key] = result
+            return result
+
+    def stats(self) -> Dict[str, int | float]:
+        lookups = self.validations + self.cache_hits
+        return {
+            "validations": self.validations,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+        }
+
+    def flush(self) -> None:
+        with self._lock:
+            self._stores = weakref.WeakKeyDictionary()
+
+    def reset_stats(self) -> None:
+        self.validations = 0
+        self.cache_hits = 0
+
+
+_chain_cache = _ChainValidationCache()
+
+
+def validate_chain_cached(cert: Optional[Certificate],
+                          hostname: str | DnsName,
+                          trust_store: TrustStore,
+                          now: Instant) -> ValidationResult:
+    """Memoized :func:`validate_chain` (same contract, shared cache)."""
+    return _chain_cache.validate(cert, hostname, trust_store, now)
+
+
+def chain_cache_stats() -> Dict[str, int | float]:
+    return _chain_cache.stats()
+
+
+def flush_chain_cache() -> None:
+    _chain_cache.flush()
+
+
+def reset_chain_cache_stats() -> None:
+    _chain_cache.reset_stats()
 
 
 def classify_failure(result: ValidationResult) -> str:

@@ -16,8 +16,9 @@ offline PKIX verdict so the measurement layer can build Figures 6/7.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.clock import Clock
 from repro.dns.name import DnsName
@@ -30,7 +31,9 @@ from repro.netsim.ip import IpAddress
 from repro.netsim.network import Network
 from repro.pki.ca import TrustStore
 from repro.pki.certificate import Certificate
-from repro.pki.validation import ValidationResult, classify_failure, validate_chain
+from repro.pki.validation import (
+    ValidationResult, classify_failure, validate_chain_cached,
+)
 from repro.smtp.server import (
     SMTP_PORT, MxHost, speaks_smtp as _speaks_smtp,
 )
@@ -80,7 +83,8 @@ class SmtpProbe:
                  trust_store: TrustStore, clock: Clock,
                  *, client_name: str = "scanner.netsecurelab.org",
                  client_ip: IpAddress | None = None,
-                 retry_greylist: bool = True):
+                 retry_greylist: bool = True,
+                 cache_enabled: bool = False):
         self._network = network
         self._resolver = resolver
         self._trust_store = trust_store
@@ -91,11 +95,63 @@ class SmtpProbe:
         #: FCrDNS-checking MTAs, per the §4.1 methodology.
         self.client_ip = client_ip
         self.retry_greylist = retry_greylist
+        #: Per-snapshot memoization: thousands of domains share the same
+        #: provider MX hosts (aspmx.l.google.com &c), and a host's probe
+        #: outcome is a function of the host, not of the domain pointing
+        #: at it — so each hostname is probed once per scan snapshot.
+        #: Off by default because a cached result goes stale the moment
+        #: simulated infrastructure mutates; the scan drivers
+        #: (:class:`~repro.measurement.executor.ScanExecutor`,
+        #: ``Scanner.scan_all``) enable it for the duration of one
+        #: snapshot scan and flush it between snapshots.
+        self.cache_enabled = cache_enabled
+        self._cache: Dict[str, ProbeResult] = {}
+        self._cache_lock = threading.Lock()
+        self.probes_performed = 0
+        self.cache_hits = 0
 
     def probe_host(self, mx_hostname: str | DnsName) -> ProbeResult:
-        """Probe one MX hostname: resolve, connect, EHLO, STARTTLS."""
+        """Probe one MX hostname: resolve, connect, EHLO, STARTTLS.
+
+        With :attr:`cache_enabled` set, a hostname is probed at most
+        once between :meth:`flush_cache` calls; repeat calls return the
+        memoized :class:`ProbeResult`.  The lock makes the memoization
+        compute-once under the threaded scan backend, so every backend
+        observes an identical per-host probe sequence.
+        """
         name_text = (mx_hostname.text if isinstance(mx_hostname, DnsName)
                      else mx_hostname).lower().rstrip(".")
+        if not self.cache_enabled:
+            self.probes_performed += 1
+            return self._probe_uncached(name_text)
+        with self._cache_lock:
+            cached = self._cache.get(name_text)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.probes_performed += 1
+            result = self._probe_uncached(name_text)
+            self._cache[name_text] = result
+            return result
+
+    def flush_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+
+    def cache_stats(self) -> Dict[str, int | float]:
+        lookups = self.probes_performed + self.cache_hits
+        return {
+            "probes": self.probes_performed,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "entries": len(self._cache),
+        }
+
+    def reset_stats(self) -> None:
+        self.probes_performed = 0
+        self.cache_hits = 0
+
+    def _probe_uncached(self, name_text: str) -> ProbeResult:
         result = ProbeResult(mx_hostname=name_text)
 
         try:
@@ -148,7 +204,7 @@ class SmtpProbe:
             result.detail = str(exc)
             return result
         result.certificate = session.certificate
-        result.validation = validate_chain(
+        result.validation = validate_chain_cached(
             session.certificate, name_text, self._trust_store,
             self._clock.now())
         return result

@@ -26,7 +26,7 @@ from repro.dns.name import DnsName
 from repro.errors import TlsError, TlsFailure
 from repro.pki.ca import TrustStore
 from repro.pki.certificate import Certificate, hostname_matches
-from repro.pki.validation import ValidationResult, validate_chain
+from repro.pki.validation import ValidationResult, validate_chain_cached
 
 
 @dataclass
@@ -118,7 +118,7 @@ def handshake(endpoint: TlsEndpoint, server_name: str | DnsName,
     if trust_store is not None:
         if now is None:
             raise ValueError("validation requires the current instant")
-        validation = validate_chain(certificate, name, trust_store, now)
+        validation = validate_chain_cached(certificate, name, trust_store, now)
         if not validation.valid:
             assert validation.failure is not None
             raise TlsError(validation.failure,
