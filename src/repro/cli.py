@@ -8,10 +8,11 @@
   assessment of a domain's MTA-STS posture from its zone file;
 * ``plan-removal <max_age_seconds>`` — print the RFC 8461 §2.6 removal
   sequence for a policy with the given max_age;
-* ``audit [--scale S] [--backend B --jobs N] [--stats]`` — run the
-  synthetic-ecosystem scan for the final snapshot and print the
-  misconfiguration census (and, with ``--stats``, the per-stage scan
-  statistics);
+* ``audit [--scale S] [--backend B --jobs N] [--stats]
+  [--fault-seed N --fault-rate R]`` — run the synthetic-ecosystem scan
+  for the final snapshot and print the misconfiguration census (with
+  ``--stats``, the per-stage scan statistics; with ``--fault-seed``,
+  deterministic network faults injected into the scan);
 * ``survey``                    — print the §7.2 survey statistics.
 """
 
@@ -105,6 +106,13 @@ def _cmd_audit(args) -> int:
     built_at = time.perf_counter()
     materialized = timeline.materialize(month)
     build_seconds = time.perf_counter() - built_at
+    if args.fault_seed is not None:
+        # Installed after materialization so only scan traffic is
+        # faulted, never the deployment/ACME exchanges that build the
+        # world.
+        from repro.netsim.network import FaultPlan
+        materialized.world.network.install_fault_plan(
+            FaultPlan.seeded(seed=args.fault_seed, rate=args.fault_rate))
     executor = ScanExecutor(backend=args.backend, jobs=args.jobs)
     store, stats = executor.scan(
         materialized.world, materialized.deployed.keys(), month)
@@ -118,6 +126,8 @@ def _cmd_audit(args) -> int:
     print(f"  misconfigured        : {summary.misconfigured} "
           f"({summary.misconfigured_percent():.1f}%)")
     print(f"  delivery failures    : {summary.delivery_failures}")
+    if args.fault_seed is not None:
+        print(f"  transient (faulted)  : {summary.transient}")
     for category, count in summary.category_counts.most_common():
         print(f"  {category:<21}: {count}")
 
@@ -215,6 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads for the threaded backend")
     audit.add_argument("--stats", action="store_true",
                        help="print the per-stage scan statistics table")
+    audit.add_argument("--fault-seed", type=int, default=None,
+                       metavar="SEED",
+                       help="inject deterministic network faults into "
+                            "the scan, seeded by SEED")
+    audit.add_argument("--fault-rate", type=float, default=0.2,
+                       metavar="R",
+                       help="fraction of endpoints the seeded fault "
+                            "plan afflicts (default 0.2)")
     audit.set_defaults(handler=_cmd_audit)
 
     survey = sub.add_parser("survey", help="print the §7.2 statistics")

@@ -35,6 +35,10 @@ class PolicyFetchResult:
     txt_strings: List[str] = field(default_factory=list)
     record_eval: Optional[TxtRrsetEvaluation] = None
     dns_lookup_error: str = ""
+    #: The ``_mta-sts`` TXT lookup failed on a fault-injected transient
+    #: error (retry budget exhausted) — the record's absence is noise,
+    #: not evidence about the domain's deployment.
+    dns_transient: bool = False
     # HTTPS stage
     fetch: Optional[FetchOutcome] = None
     policy_host_cname: Optional[str] = None
@@ -76,6 +80,12 @@ class PolicyFetchResult:
         return None
 
     @property
+    def transient(self) -> bool:
+        """Any stage died on a retry-exhausted injected fault."""
+        return (self.dns_transient
+                or (self.fetch is not None and self.fetch.transient))
+
+    @property
     def tls_failure(self) -> Optional[TlsFailure]:
         return self.fetch.tls_failure if self.fetch is not None else None
 
@@ -115,6 +125,7 @@ class PolicyFetcher:
         except DnsError as exc:
             result.record_eval = evaluate_txt_rrset([])
             result.dns_lookup_error = str(exc)
+            result.dns_transient = getattr(exc, "transient", False)
             return result
         result.txt_strings = [
             r.text for r in answer.records if isinstance(r, TxtRecord)]

@@ -19,11 +19,14 @@ from repro.dns.name import DnsName
 from repro.dns.records import CnameRecord, ResourceRecord, RRType
 from repro.dns.server import DNS_PORT, AuthoritativeServer
 from repro.errors import (
-    CnameLoop, DnsError, DnsTimeout, NoData, NxDomain, ServFail,
-    ConnectionRefused, ConnectionTimeout,
+    CnameLoop, DnsError, DnsTimeout, NetworkError, NoData, NxDomain,
+    ServFail,
 )
 from repro.netsim.ip import IpAddress
 from repro.netsim.network import Network
+from repro.netsim.retry import (
+    DEFAULT_RETRY_POLICY, RetryPolicy, connect_with_retries,
+)
 
 MAX_CNAME_DEPTH = 8
 
@@ -57,9 +60,11 @@ class Resolver:
 
     def __init__(self, network: Network, clock: Clock,
                  *, cache_enabled: bool = True,
-                 negative_ttl: int = 300):
+                 negative_ttl: int = 300,
+                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY):
         self._network = network
         self._clock = clock
+        self._retry_policy = retry_policy
         self._delegations: Dict[DnsName, List[IpAddress]] = {}
         self._cache: Dict[Tuple[DnsName, RRType], _CacheEntry] = {}
         self._cache_enabled = cache_enabled
@@ -133,6 +138,17 @@ class Resolver:
         except DnsError:
             return None
 
+    def resolve_detailed(self, name: DnsName | str, rrtype: RRType
+                         ) -> Tuple[Answer | None, DnsError | None]:
+        """:meth:`resolve` returning ``(answer, error)`` instead of
+        raising.  The error (when set) carries the ``transient`` flag
+        the scanner uses to separate retry-exhausted fault injections
+        from deterministic failures."""
+        try:
+            return self.resolve(name, rrtype), None
+        except DnsError as exc:
+            return None, exc
+
     def resolve_address(self, name: DnsName | str) -> List[IpAddress]:
         """Resolve A then AAAA, returning every address found.
 
@@ -180,9 +196,17 @@ class Resolver:
         last_error: DnsError = DnsTimeout(f"all servers failed for {name}")
         for server_ip in servers:
             try:
-                server = self._network.connect(server_ip, DNS_PORT)
-            except (ConnectionRefused, ConnectionTimeout):
-                last_error = DnsTimeout(f"{server_ip} unreachable")
+                server = connect_with_retries(
+                    self._network, server_ip, DNS_PORT,
+                    policy=self._retry_policy,
+                    key=f"dns:{server_ip.text}:{name.text}")
+            except NetworkError as exc:
+                # Transient (fault-injected) unreachability must not be
+                # confused with — or negatively cached as — a dead
+                # server, so the flag rides along on the DNS error.
+                timeout = DnsTimeout(f"{server_ip} unreachable: {exc}")
+                timeout.transient = getattr(exc, "transient", False)
+                last_error = timeout
                 continue
             if not isinstance(server, AuthoritativeServer):
                 last_error = ServFail(f"{server_ip} is not a DNS server")

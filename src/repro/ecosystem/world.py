@@ -21,6 +21,7 @@ from repro.dns.server import AuthoritativeServer
 from repro.dns.zone import Zone
 from repro.netsim.ip import IpAddress, IpPool
 from repro.netsim.network import Network
+from repro.netsim.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.pki.acme import AcmeService
 from repro.pki.ca import CertificateAuthority, TrustStore
 from repro.pki.certificate import CertTemplate
@@ -37,9 +38,13 @@ class World:
     """A fully wired simulated internet."""
 
     def __init__(self, *, start: Instant = DEFAULT_START,
-                 tlds: tuple[str, ...] = DEFAULT_TLDS):
+                 tlds: tuple[str, ...] = DEFAULT_TLDS,
+                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY):
         self.clock = Clock(start)
-        self.network = Network()
+        self.retry_policy = retry_policy
+        # The network shares the world clock so time-keyed fault
+        # schedules (FLAP) see the simulated instant, not wall time.
+        self.network = Network(clock=self.clock)
         self.dnssec = DnssecAuthority()
 
         # Address plan: infrastructure pools per role so that "nearby
@@ -55,7 +60,8 @@ class World:
         # TLD infrastructure: one authoritative server per TLD, holding
         # the TLD zone (delegations are modelled via the resolver's
         # delegation registry instead of NS-glue chasing).
-        self.resolver = Resolver(self.network, self.clock)
+        self.resolver = Resolver(self.network, self.clock,
+                                 retry_policy=retry_policy)
         self.tld_servers: Dict[str, AuthoritativeServer] = {}
         for tld in tlds:
             server = AuthoritativeServer(
@@ -71,7 +77,8 @@ class World:
 
         self.acme = AcmeService(self.ca, self.resolver, self.clock)
         self.https_client = HttpsClient(
-            self.network, self.resolver, self.trust_store, self.clock)
+            self.network, self.resolver, self.trust_store, self.clock,
+            retry_policy=retry_policy)
 
         self._domain_servers: Dict[str, AuthoritativeServer] = {}
 
@@ -84,7 +91,8 @@ class World:
         self._publish_scanner_identity()
         self.smtp_probe = SmtpProbe(
             self.network, self.resolver, self.trust_store, self.clock,
-            client_name=self.scanner_hostname, client_ip=self.scanner_ip)
+            client_name=self.scanner_hostname, client_ip=self.scanner_ip,
+            retry_policy=retry_policy)
 
     def _publish_scanner_identity(self) -> None:
         from repro.dns.records import ARecord

@@ -15,7 +15,18 @@ import enum
 
 
 class ReproError(Exception):
-    """Base class for all exceptions raised by this library."""
+    """Base class for all exceptions raised by this library.
+
+    ``transient`` marks failures injected by the deterministic fault
+    layer (:class:`repro.netsim.network.FaultPlan`): a transient error
+    would have succeeded had the fault schedule been exhausted, so the
+    scan pipeline retries it and — when retries run out — classifies
+    the observation as *transient* rather than as a hard
+    misconfiguration.  Deterministic failures (closed ports, NXDOMAIN,
+    expired certificates) keep the default ``False``.
+    """
+
+    transient = False
 
 
 # ---------------------------------------------------------------------------
@@ -32,6 +43,14 @@ class ConnectionRefused(NetworkError):
 
 class ConnectionTimeout(NetworkError):
     """The target host is unreachable or drops SYNs (blackhole)."""
+
+
+class ConnectionReset(NetworkError):
+    """The connection was accepted but torn down mid-exchange (RST)."""
+
+    def __init__(self, message: str = "", *, bytes_delivered: int = 0):
+        self.bytes_delivered = bytes_delivered
+        super().__init__(message or "connection reset")
 
 
 class HostUnreachable(NetworkError):
@@ -200,6 +219,10 @@ class MisconfigCategory(enum.Enum):
     POLICY_RETRIEVAL = "policy-retrieval"
     MX_CERTIFICATE = "mx-certificate"
     INCONSISTENCY = "inconsistency"
+    #: Not one of the paper's four: the observation failed on a
+    #: fault-injected transient error that survived the retry budget,
+    #: so the domain's true posture is unknown for this snapshot.
+    TRANSIENT = "transient"
 
 
 class MismatchClass(enum.Enum):

@@ -74,12 +74,19 @@ class ScanStats:
     # PKIX offline validation
     pkix_validations: int = 0
     pkix_cache_hits: int = 0
+    # retry / fault-injection layer
+    connect_retries: int = 0
+    faults_injected: int = 0
+    retry_backoff_seconds: float = 0.0
+    transient_domains: int = 0
 
     _COUNTERS = ("months", "domains_scanned", "world_build_seconds",
                  "scan_seconds", "dns_queries", "dns_cache_hits",
                  "dns_negative_cache_hits", "policy_fetches",
                  "smtp_probes", "smtp_probe_cache_hits",
-                 "pkix_validations", "pkix_cache_hits")
+                 "pkix_validations", "pkix_cache_hits",
+                 "connect_retries", "faults_injected",
+                 "retry_backoff_seconds", "transient_domains")
 
     def merge(self, other: "ScanStats") -> None:
         for name in self._COUNTERS:
@@ -110,6 +117,11 @@ class ScanStats:
                            self.smtp_probe_cache_hits),
             self._hit_line("pkix validations", self.pkix_validations,
                            self.pkix_cache_hits),
+            f"  {'connect retries':<22} {self.connect_retries:>9,}",
+            f"  {'faults injected':<22} {self.faults_injected:>9,}",
+            f"  {'transient domains':<22} {self.transient_domains:>9,}",
+            f"  {'retry backoff':<22} "
+            f"{self.retry_backoff_seconds:>10.2f}s (virtual)",
             f"  {'world build':<22} {self.world_build_seconds:>10.2f}s",
             f"  {'scan':<22} {self.scan_seconds:>10.2f}s",
         ]
@@ -194,6 +206,7 @@ class ScanExecutor:
             domains_scanned=sum(len(shard) for shard in shards),
             scan_seconds=elapsed,
             policy_fetches=sum(s.policy_fetches for s in scanners),
+            transient_domains=sum(s.transient_domains for s in scanners),
             **{name: after[name] - before[name] for name in after},
         )
         return store, stats
@@ -218,7 +231,7 @@ class ScanExecutor:
         return scanners
 
     @staticmethod
-    def _counters(world: World) -> Dict[str, int]:
+    def _counters(world: World) -> Dict[str, int | float]:
         pkix = chain_cache_stats()
         return {
             "dns_queries": world.resolver.query_count,
@@ -228,4 +241,7 @@ class ScanExecutor:
             "smtp_probe_cache_hits": world.smtp_probe.cache_hits,
             "pkix_validations": int(pkix["validations"]),
             "pkix_cache_hits": int(pkix["cache_hits"]),
+            "connect_retries": world.network.retried_connects,
+            "faults_injected": world.network.faults_injected,
+            "retry_backoff_seconds": world.network.backoff_seconds,
         }

@@ -38,6 +38,9 @@ class Scanner:
         self._resolver: Resolver = world.resolver
         self._fetcher = PolicyFetcher(world.resolver, world.https_client)
         self._probe: SmtpProbe = world.smtp_probe
+        #: Domains whose snapshot carried any transient marker —
+        #: retry-exhausted injected faults (ScanStats accounting).
+        self.transient_domains = 0
 
     @property
     def policy_fetches(self) -> int:
@@ -55,6 +58,8 @@ class Scanner:
         self._scan_dns(snapshot)
         self._scan_policy(snapshot)
         self._scan_mx(snapshot)
+        if snapshot.any_transient:
+            self.transient_domains += 1
         return snapshot
 
     def scan_all(self, domains: Iterable[str], month_index: int,
@@ -77,15 +82,18 @@ class Scanner:
 
     def _scan_dns(self, snapshot: DomainSnapshot) -> None:
         domain = snapshot.domain
-        ns = self._resolver.try_resolve(domain, RRType.NS)
+        ns, error = self._resolver.resolve_detailed(domain, RRType.NS)
+        self._note_transient(snapshot, error)
         if ns is not None:
             snapshot.ns_hostnames = sorted(
                 r.nsdname.text for r in ns.records)   # type: ignore[attr-defined]
-        apex_a = self._resolver.try_resolve(domain, RRType.A)
+        apex_a, error = self._resolver.resolve_detailed(domain, RRType.A)
+        self._note_transient(snapshot, error)
         if apex_a is not None:
             snapshot.apex_addresses = sorted(
                 r.address.text for r in apex_a.records)  # type: ignore[attr-defined]
-        mx = self._resolver.try_resolve(domain, RRType.MX)
+        mx, error = self._resolver.resolve_detailed(domain, RRType.MX)
+        self._note_transient(snapshot, error)
         if mx is not None:
             records = sorted(mx.records,
                              key=lambda r: (r.preference, r.exchange.text))  # type: ignore[attr-defined]
@@ -93,10 +101,16 @@ class Scanner:
         snapshot.tlsrpt_present = (
             lookup_tlsrpt(self._resolver, domain) is not None)
 
+    @staticmethod
+    def _note_transient(snapshot: DomainSnapshot, error) -> None:
+        if error is not None and getattr(error, "transient", False):
+            snapshot.dns_transient = True
+
     def _scan_policy(self, snapshot: DomainSnapshot) -> None:
         result = self._fetcher.fetch_policy(snapshot.domain)
         snapshot.txt_strings = result.txt_strings
         snapshot.sts_like = result.sts_enabled
+        snapshot.policy_transient = result.transient
         snapshot.record_valid = result.record is not None
         if result.record is not None:
             snapshot.record_id = result.record.id
@@ -125,14 +139,18 @@ class Scanner:
     def _scan_mx(self, snapshot: DomainSnapshot) -> None:
         for hostname in snapshot.mx_hostnames:
             observation = MxObservation(hostname=hostname)
-            answer = self._resolver.try_resolve(hostname, RRType.A)
+            answer, error = self._resolver.resolve_detailed(
+                hostname, RRType.A)
             if answer is not None:
                 observation.addresses = sorted(
                     r.address.text for r in answer.records)  # type: ignore[attr-defined]
+            elif error is not None and getattr(error, "transient", False):
+                observation.transient = True
             probe = self._probe.probe_host(hostname)
             observation.reachable = probe.reachable
             observation.starttls = probe.starttls_offered
             observation.tls_established = probe.tls_established
             observation.cert_valid = probe.cert_valid
             observation.failure_class = probe.failure_class()
+            observation.transient = observation.transient or probe.transient
             snapshot.mx_observations.append(observation)

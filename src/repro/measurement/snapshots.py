@@ -30,6 +30,7 @@ class MxObservation:
     tls_established: bool = False
     cert_valid: bool = False
     failure_class: str = ""       # valid | cn-mismatch | self-signed | ...
+    transient: bool = False       # probe died on a retry-exhausted fault
 
 
 @dataclass
@@ -51,11 +52,15 @@ class DomainSnapshot:
     apex_addresses: List[str] = field(default_factory=list)
     mx_hostnames: List[str] = field(default_factory=list)
     tlsrpt_present: bool = False
+    #: A DNS-stage lookup (NS/A/MX or the ``_mta-sts`` TXT) failed on a
+    #: retry-exhausted injected fault: the DNS view is incomplete noise.
+    dns_transient: bool = False
 
     # policy host stage
     policy_host_cname: Optional[str] = None
     policy_host_addresses: List[str] = field(default_factory=list)
     policy_fetch_stage: Optional[str] = None   # failed stage, None = ok
+    policy_transient: bool = False  # fetch died on a retry-exhausted fault
     policy_tls_failure: str = ""
     policy_http_status: Optional[int] = None
     policy_syntax_errors: List[str] = field(default_factory=list)
@@ -89,6 +94,17 @@ class DomainSnapshot:
     def all_invalid_mx_cert(self) -> bool:
         capable = self.mx_tls_capable
         return bool(capable) and all(not o.cert_valid for o in capable)
+
+    @property
+    def any_transient(self) -> bool:
+        """Any stage died on a fault-injected error after retries.
+
+        A transient snapshot's observations are network noise, not
+        evidence: the taxonomy files the domain under ``transient``
+        instead of attributing a misconfiguration category.
+        """
+        return (self.dns_transient or self.policy_transient
+                or any(o.transient for o in self.mx_observations))
 
     @property
     def consistent(self) -> bool:

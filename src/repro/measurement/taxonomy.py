@@ -19,8 +19,17 @@ from repro.measurement.snapshots import DomainSnapshot
 
 
 def categorize(snap: DomainSnapshot) -> List[MisconfigCategory]:
-    """The Figure-4 categories one snapshot falls into (not exclusive)."""
+    """The Figure-4 categories one snapshot falls into (not exclusive).
+
+    A snapshot carrying transient markers (retry-exhausted injected
+    faults) additionally falls into ``TRANSIENT`` — its other
+    observations are unreliable, which is why :func:`snapshot_summary`
+    excludes transient snapshots from the misconfiguration tallies
+    rather than letting network noise inflate Figure 4.
+    """
     categories: List[MisconfigCategory] = []
+    if snap.any_transient:
+        categories.append(MisconfigCategory.TRANSIENT)
     if not snap.sts_like:
         return categories
     if not snap.record_valid:
@@ -32,6 +41,31 @@ def categorize(snap: DomainSnapshot) -> List[MisconfigCategory]:
     if not snap.consistent:
         categories.append(MisconfigCategory.INCONSISTENCY)
     return categories
+
+
+#: Every value :func:`primary_bucket` can return, in priority order.
+PRIMARY_BUCKETS = ("transient", "not-sts", "dns-record",
+                   "policy-retrieval", "mx-certificate", "inconsistency",
+                   "ok")
+
+
+def primary_bucket(snap: DomainSnapshot) -> str:
+    """A *total, exclusive* classification of one snapshot.
+
+    Every scanned domain lands in exactly one bucket: ``transient``
+    (any retry-exhausted injected fault — the observation is noise),
+    ``not-sts`` (no MTA-STS signal), the highest-priority Figure-4
+    category, or ``ok``.  The fault-robustness property tests assert
+    totality: no fault plan may make a domain unclassifiable.
+    """
+    if snap.any_transient:
+        return "transient"
+    if not snap.sts_like:
+        return "not-sts"
+    categories = categorize(snap)
+    if categories:
+        return categories[0].value
+    return "ok"
 
 
 def delivery_failure_expected(snap: DomainSnapshot) -> bool:
@@ -58,6 +92,10 @@ class SnapshotSummary:
     total_sts: int = 0
     misconfigured: int = 0
     delivery_failures: int = 0
+    #: Snapshots (STS or not) that died on retry-exhausted injected
+    #: faults.  Excluded from every misconfiguration tally: transient
+    #: network noise is not a misconfiguration.
+    transient: int = 0
     category_counts: Counter = field(default_factory=Counter)
     # Figure 5: policy errors by stage x entity
     policy_errors_by_entity: Dict[str, Counter] = field(
@@ -92,10 +130,19 @@ class SnapshotSummary:
 def snapshot_summary(snapshots: List[DomainSnapshot],
                      verdicts: Optional[Dict[str, EntityVerdict]] = None
                      ) -> SnapshotSummary:
-    """Aggregate one month's snapshots (optionally with entity verdicts)."""
-    sts = [s for s in snapshots if s.sts_like]
+    """Aggregate one month's snapshots (optionally with entity verdicts).
+
+    Snapshots carrying transient markers are tallied in
+    ``summary.transient`` and dropped before attribution: a scan that
+    lost a domain to network faults has no reliable observation to
+    classify, so ``total_sts`` and every figure count only settled
+    snapshots.
+    """
+    transient_count = sum(1 for s in snapshots if s.any_transient)
+    sts = [s for s in snapshots if s.sts_like and not s.any_transient]
     month = snapshots[0].month_index if snapshots else 0
-    summary = SnapshotSummary(month_index=month, total_sts=len(sts))
+    summary = SnapshotSummary(month_index=month, total_sts=len(sts),
+                              transient=transient_count)
     if verdicts is None:
         verdicts = EntityClassifier(snapshots).classify_all()
 

@@ -24,11 +24,12 @@ from repro.clock import Clock
 from repro.dns.name import DnsName
 from repro.dns.records import RRType
 from repro.dns.resolver import Resolver
-from repro.errors import (
-    ConnectionRefused, ConnectionTimeout, DnsError, TlsError, TlsFailure,
-)
+from repro.errors import DnsError, NetworkError, TlsError, TlsFailure
 from repro.netsim.ip import IpAddress
 from repro.netsim.network import Network
+from repro.netsim.retry import (
+    DEFAULT_RETRY_POLICY, RetryPolicy, connect_with_retries,
+)
 from repro.pki.ca import TrustStore
 from repro.pki.certificate import Certificate
 from repro.pki.validation import (
@@ -54,6 +55,10 @@ class ProbeResult:
     tls_failure: Optional[TlsFailure] = None
     validation: Optional[ValidationResult] = None
     detail: str = ""
+    #: The probe failed on a fault-injected transient error that
+    #: survived the retry budget; a host that recovered within the
+    #: budget produces a result indistinguishable from a healthy one.
+    transient: bool = False
 
     @property
     def tls_established(self) -> bool:
@@ -84,11 +89,13 @@ class SmtpProbe:
                  *, client_name: str = "scanner.netsecurelab.org",
                  client_ip: IpAddress | None = None,
                  retry_greylist: bool = True,
-                 cache_enabled: bool = False):
+                 cache_enabled: bool = False,
+                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY):
         self._network = network
         self._resolver = resolver
         self._trust_store = trust_store
         self._clock = clock
+        self._retry_policy = retry_policy
         self.client_name = client_name
         #: The scanner's own address; with forward and PTR records
         #: published for (client_name, client_ip) the probe satisfies
@@ -131,7 +138,12 @@ class SmtpProbe:
                 return cached
             self.probes_performed += 1
             result = self._probe_uncached(name_text)
-            self._cache[name_text] = result
+            # A retry-exhausted transient verdict says nothing durable
+            # about the host — memoizing it would serve a stale failure
+            # after the endpoint recovers, so only settled outcomes
+            # (success or deterministic hard failure) are cached.
+            if not result.transient:
+                self._cache[name_text] = result
             return result
 
     def flush_cache(self) -> None:
@@ -159,18 +171,24 @@ class SmtpProbe:
             addresses = self._resolver.resolve_address(name)
         except (ValueError, DnsError) as exc:
             result.detail = f"dns: {exc}"
+            result.transient = getattr(exc, "transient", False)
             return result
 
         server = None
         for address in addresses:
             try:
-                server = self._network.connect(address, SMTP_PORT)
+                server = connect_with_retries(
+                    self._network, address, SMTP_PORT,
+                    policy=self._retry_policy,
+                    key=f"smtp:{name_text}:{address.text}")
                 break
-            except (ConnectionRefused, ConnectionTimeout) as exc:
+            except NetworkError as exc:
                 result.detail = f"tcp: {exc}"
+                result.transient = getattr(exc, "transient", False)
         if not _speaks_smtp(server):
             return result
         result.reachable = True
+        result.transient = False
 
         server.greet()
         ehlo = server.ehlo(self.client_name, self.client_ip)

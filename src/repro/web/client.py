@@ -22,11 +22,13 @@ from repro.clock import Clock
 from repro.dns.name import DnsName
 from repro.dns.resolver import Resolver
 from repro.errors import (
-    ConnectionRefused, ConnectionTimeout, DnsError, PolicyFetchStage,
-    TlsError, TlsFailure,
+    DnsError, NetworkError, PolicyFetchStage, TlsError, TlsFailure,
 )
 from repro.netsim.ip import IpAddress
 from repro.netsim.network import Network
+from repro.netsim.retry import (
+    DEFAULT_RETRY_POLICY, RetryPolicy, connect_with_retries,
+)
 from repro.pki.ca import TrustStore
 from repro.pki.certificate import Certificate
 from repro.tls.handshake import handshake
@@ -45,6 +47,9 @@ class FetchOutcome:
     certificate: Optional[Certificate] = None
     detail: str = ""
     resolved_ips: list[IpAddress] = field(default_factory=list)
+    #: The failed stage died on a fault-injected transient error that
+    #: survived the retry budget (never set on successful fetches).
+    transient: bool = False
 
     @property
     def ok(self) -> bool:
@@ -55,11 +60,13 @@ class HttpsClient:
     """Fetches URLs over the simulated network with PKIX validation."""
 
     def __init__(self, network: Network, resolver: Resolver,
-                 trust_store: TrustStore, clock: Clock):
+                 trust_store: TrustStore, clock: Clock,
+                 *, retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY):
         self._network = network
         self._resolver = resolver
         self._trust_store = trust_store
         self._clock = clock
+        self._retry_policy = retry_policy
 
     def fetch(self, host: str | DnsName, path: str,
               *, validate_tls: bool = True) -> FetchOutcome:
@@ -73,21 +80,26 @@ class HttpsClient:
             addresses = self._resolver.resolve_address(name)
         except (ValueError, DnsError) as exc:
             outcome.failed_stage = PolicyFetchStage.DNS
+            outcome.transient = getattr(exc, "transient", False)
             outcome.detail = str(exc)
             return outcome
         outcome.resolved_ips = addresses
 
-        # Stage 2: TCP
+        # Stage 2: TCP (each address retried under the policy)
         server = None
         tcp_error: Exception | None = None
         for address in addresses:
             try:
-                server = self._network.connect(address, HTTPS_PORT)
+                server = connect_with_retries(
+                    self._network, address, HTTPS_PORT,
+                    policy=self._retry_policy,
+                    key=f"https:{host_text}:{address.text}")
                 break
-            except (ConnectionRefused, ConnectionTimeout) as exc:
+            except NetworkError as exc:
                 tcp_error = exc
         if server is None:
             outcome.failed_stage = PolicyFetchStage.TCP
+            outcome.transient = getattr(tcp_error, "transient", False)
             outcome.detail = str(tcp_error)
             return outcome
         if not isinstance(server, WebServer):

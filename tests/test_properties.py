@@ -2,6 +2,7 @@
 
 import string
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -141,3 +142,62 @@ class TestMismatchClassifierProperties:
         assert verdict.mismatch == (not covered)
         if verdict.mismatch:
             assert verdict.mismatch_class is not None
+
+
+@pytest.mark.faults
+class TestFaultRobustnessProperties:
+    """No fault plan may crash the scanner or leave a domain
+    unclassifiable: the taxonomy stays total under arbitrary injected
+    network faults."""
+
+    #: One world shared across examples — fault plans are stateless,
+    #: so installing/removing one leaves the world unchanged.
+    _world = None
+    _domains = ["example.com", "with-provider.net", "ghost.org"]
+
+    @classmethod
+    def _fixture_world(cls):
+        if cls._world is None:
+            from repro.ecosystem.deployment import DomainSpec, deploy_domain
+            from repro.ecosystem.providers import default_email_providers
+            from repro.ecosystem.world import World
+            cls._world = World()
+            deploy_domain(cls._world, DomainSpec(domain="example.com"))
+            deploy_domain(cls._world, DomainSpec(
+                domain="with-provider.net",
+                email_provider=default_email_providers()[0]))
+            # ghost.org is never deployed: the not-sts path.
+        return cls._world
+
+    @given(seed=st.integers(min_value=0, max_value=2**32),
+           rate=st.floats(min_value=0.05, max_value=1.0),
+           count=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_every_domain_lands_in_exactly_one_bucket(self, seed, rate,
+                                                      count):
+        from repro.measurement.scanner import Scanner
+        from repro.measurement.taxonomy import (
+            PRIMARY_BUCKETS, primary_bucket,
+        )
+        from repro.netsim.network import FaultKind, FaultPlan, FaultSpec
+
+        world = self._fixture_world()
+        plan = FaultPlan.seeded(seed=seed, rate=rate)
+        kind = list(FaultKind)[seed % len(FaultKind)]
+        plan.add_description("smtp:mail.example.com",
+                             FaultSpec(kind, count=count,
+                                       latency=40.0, period=86400))
+        world.network.install_fault_plan(plan)
+        world.resolver.flush_cache()
+        try:
+            store = Scanner(world).scan_all(self._domains, 0)
+        finally:
+            world.network.install_fault_plan(None)
+            world.resolver.flush_cache()
+
+        assert len(store.month(0)) == len(self._domains)
+        for snapshot in store.month(0):
+            buckets = [b for b in PRIMARY_BUCKETS
+                       if primary_bucket(snapshot) == b]
+            assert len(buckets) == 1
+            assert buckets[0] in PRIMARY_BUCKETS
