@@ -9,10 +9,13 @@
 * ``plan-removal <max_age_seconds>`` — print the RFC 8461 §2.6 removal
   sequence for a policy with the given max_age;
 * ``audit [--scale S] [--backend B --jobs N] [--stats]
-  [--fault-seed N --fault-rate R]`` — run the synthetic-ecosystem scan
-  for the final snapshot and print the misconfiguration census (with
+  [--fault-seed N --fault-rate R] [--trace FILE]
+  [--explain DOMAIN]`` — run the synthetic-ecosystem scan for the
+  final snapshot and print the misconfiguration census (with
   ``--stats``, the per-stage scan statistics; with ``--fault-seed``,
-  deterministic network faults injected into the scan);
+  deterministic network faults injected into the scan; with
+  ``--trace``, one JSONL span tree per scanned domain; with
+  ``--explain``, the human-readable span tree for one domain);
 * ``survey``                    — print the §7.2 survey statistics.
 """
 
@@ -52,6 +55,8 @@ def _cmd_lint_policy(args) -> int:
         policy = check.policy
         print(f"OK: mode={policy.mode.value} max_age={policy.max_age} "
               f"mx={list(policy.mx_patterns)}")
+        for kind, detail in zip(check.warnings, check.warning_details):
+            print(f"WARNING ({kind.value}): {detail}")
         return 0
     for kind, detail in zip(check.errors, check.details):
         print(f"INVALID ({kind.value}): {detail}")
@@ -113,10 +118,18 @@ def _cmd_audit(args) -> int:
         from repro.netsim.network import FaultPlan
         materialized.world.network.install_fault_plan(
             FaultPlan.seeded(seed=args.fault_seed, rate=args.fault_rate))
-    executor = ScanExecutor(backend=args.backend, jobs=args.jobs)
+    tracing = bool(args.trace or args.explain)
+    executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
+                            trace=tracing)
     store, stats = executor.scan(
         materialized.world, materialized.deployed.keys(), month)
     stats.world_build_seconds = build_seconds
+    if args.trace:
+        records = executor.last_trace.write_jsonl(args.trace)
+        print(f"trace: {records} records -> {args.trace}")
+    if args.explain:
+        print(executor.last_trace.explain(args.explain.strip().lower()))
+        print()
     snapshots = store.month(month)
     summary = snapshot_summary(
         snapshots, EntityClassifier(snapshots).classify_all())
@@ -176,6 +189,30 @@ def _cmd_survey(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def _rate(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a rate in [0, 1], got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,18 +258,26 @@ def build_parser() -> argparse.ArgumentParser:
                        default="serial",
                        help="scan execution backend (both produce "
                             "identical snapshots)")
-    audit.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker threads for the threaded backend")
+    audit.add_argument("--jobs", type=_positive_int, default=1,
+                       metavar="N",
+                       help="worker threads for the threaded backend "
+                            "(a positive integer)")
     audit.add_argument("--stats", action="store_true",
                        help="print the per-stage scan statistics table")
     audit.add_argument("--fault-seed", type=int, default=None,
                        metavar="SEED",
                        help="inject deterministic network faults into "
                             "the scan, seeded by SEED")
-    audit.add_argument("--fault-rate", type=float, default=0.2,
+    audit.add_argument("--fault-rate", type=_rate, default=0.2,
                        metavar="R",
                        help="fraction of endpoints the seeded fault "
-                            "plan afflicts (default 0.2)")
+                            "plan afflicts (default 0.2, range [0, 1])")
+    audit.add_argument("--trace", default=None, metavar="FILE",
+                       help="write the scan's span trees and metrics "
+                            "as JSONL to FILE")
+    audit.add_argument("--explain", default=None, metavar="DOMAIN",
+                       help="print the span tree explaining DOMAIN's "
+                            "scan verdict")
     audit.set_defaults(handler=_cmd_audit)
 
     survey = sub.add_parser("survey", help="print the §7.2 statistics")

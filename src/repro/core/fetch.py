@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import trace
 from repro.core.policy import Policy, PolicyCheck, check_policy_text
 from repro.core.record import StsRecord, TxtRrsetEvaluation, evaluate_txt_rrset
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import RRType, TxtRecord
 from repro.dns.resolver import Resolver
 from repro.errors import (
@@ -112,8 +113,7 @@ class PolicyFetcher:
 
     def lookup_record(self, domain: str | DnsName) -> PolicyFetchResult:
         """Stage 1 only: the ``_mta-sts`` TXT lookup and evaluation."""
-        domain_text = (domain.text if isinstance(domain, DnsName)
-                       else domain).lower().rstrip(".")
+        domain_text = canonical_host(domain)
         result = PolicyFetchResult(domain=domain_text)
         label = DnsName.parse(f"_mta-sts.{domain_text}")
         try:
@@ -121,15 +121,28 @@ class PolicyFetcher:
         except (NxDomain, NoData) as exc:
             result.record_eval = evaluate_txt_rrset([])
             result.dns_lookup_error = str(exc)
+            if trace.TRACING:
+                trace.event("sts-record", outcome=str(exc))
             return result
         except DnsError as exc:
             result.record_eval = evaluate_txt_rrset([])
             result.dns_lookup_error = str(exc)
             result.dns_transient = getattr(exc, "transient", False)
+            if trace.TRACING:
+                trace.event("sts-record", outcome=str(exc),
+                            transient=result.dns_transient)
             return result
         result.txt_strings = [
             r.text for r in answer.records if isinstance(r, TxtRecord)]
         result.record_eval = evaluate_txt_rrset(result.txt_strings)
+        evaluation = result.record_eval
+        if trace.TRACING:
+            trace.event(
+                "sts-record",
+                outcome="valid" if evaluation.valid
+                else (evaluation.error.value if evaluation.error
+                      else "invalid"),
+                signals_sts=evaluation.signals_sts)
         return result
 
     def fetch_policy(self, domain: str | DnsName,
@@ -143,6 +156,8 @@ class PolicyFetcher:
         every component's health is measured independently.
         """
         self.fetch_count += 1
+        if trace.TRACING:
+            trace.count("policy.fetches")
         result = self.lookup_record(domain)
         if not result.sts_enabled:
             return result
@@ -160,6 +175,9 @@ class PolicyFetcher:
             answer = self._resolver.try_resolve(policy_host, RRType.A)
             if answer is not None and answer.cname_chain:
                 result.policy_host_cname = answer.cname_chain[0].target.text
+        if result.policy_host_cname and trace.TRACING:
+            trace.event("policy-host-cname",
+                        target=result.policy_host_cname)
 
         result.fetch = self._https.fetch(policy_host, WELL_KNOWN_STS_PATH)
         if result.fetch.ok and result.fetch.body is not None:

@@ -19,12 +19,13 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.policy import Policy
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 
 
-def _canonical(host: str | DnsName) -> str:
-    text = host.text if isinstance(host, DnsName) else host
-    return text.strip().rstrip(".").lower()
+# Kept as a module alias: the shared canonicaliser in repro.dns.name is
+# the single source of truth for host comparison (casefold + empty-label
+# guard), and an alias avoids a wrapper call on the per-MX match path.
+_canonical = canonical_host
 
 
 def mx_pattern_matches(pattern: str, mx_hostname: str | DnsName) -> bool:

@@ -17,7 +17,7 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import PolicyError, PolicySyntaxError
+from repro.errors import PolicyError, PolicySyntaxError, PolicyWarning
 
 MAX_POLICY_AGE = 31_557_600          # RFC 8461: max_age upper bound (1 year)
 
@@ -79,6 +79,10 @@ class PolicyCheck:
     policy: Optional[Policy] = None
     errors: List[PolicySyntaxError] = field(default_factory=list)
     details: List[str] = field(default_factory=list)
+    #: Non-fatal deviations: the policy parses and is used, but the
+    #: fault is surfaced rather than silently corrected.
+    warnings: List[PolicyWarning] = field(default_factory=list)
+    warning_details: List[str] = field(default_factory=list)
 
     @property
     def valid(self) -> bool:
@@ -87,6 +91,10 @@ class PolicyCheck:
     def add(self, kind: PolicySyntaxError, detail: str) -> None:
         self.errors.append(kind)
         self.details.append(detail)
+
+    def add_warning(self, kind: PolicyWarning, detail: str) -> None:
+        self.warnings.append(kind)
+        self.warning_details.append(detail)
 
 
 def check_policy_text(text: str) -> PolicyCheck:
@@ -149,14 +157,26 @@ def check_policy_text(text: str) -> PolicyCheck:
             check.add(PolicySyntaxError.INVALID_MODE,
                       f"unknown mode {mode_text!r}")
 
+    # ``str.isdigit`` accepts non-ASCII digits — some of which
+    # ``int()`` parses (Arabic-Indic "١٢٣") and some of which it
+    # rejects with ValueError (superscripts like "²") — so the check
+    # must be ASCII-only.  An in-range value above the RFC 8461 bound
+    # is still usable (senders cap it themselves) but is recorded as a
+    # warning instead of being silently clamped.
     max_age: Optional[int] = None
     if max_age_text is None:
         check.add(PolicySyntaxError.MISSING_MAX_AGE, "no max_age field")
-    elif not max_age_text.isdigit():
+    elif not (max_age_text.isascii() and max_age_text.isdigit()):
         check.add(PolicySyntaxError.INVALID_MAX_AGE,
                   f"max_age is not a non-negative integer: {max_age_text!r}")
     else:
-        max_age = min(int(max_age_text), MAX_POLICY_AGE)
+        max_age = int(max_age_text)
+        if max_age > MAX_POLICY_AGE:
+            check.add_warning(
+                PolicyWarning.MAX_AGE_OVER_BOUND,
+                f"max_age {max_age} exceeds RFC 8461 bound "
+                f"{MAX_POLICY_AGE}; clamped")
+            max_age = MAX_POLICY_AGE
 
     # mx patterns are required unless mode is none (RFC 8461 §3.2).
     if not mx_values and mode is not PolicyMode.NONE:

@@ -23,6 +23,31 @@ from typing import Iterable, Tuple
 
 _LABEL_RE = re.compile(r"^[a-z0-9_*]([a-z0-9_-]*[a-z0-9_])?$")
 
+
+def canonical_host(host: "str | DnsName") -> str:
+    """Canonicalise a hostname for comparison and lookup.
+
+    Strips surrounding whitespace and the trailing root dot, then
+    case-folds (``casefold`` rather than ``lower`` so names containing
+    characters with non-trivial case mappings — dotted capital I, sharp
+    s — canonicalise the same way everywhere).  Returns ``""`` for
+    anything that is not a plausible host: empty input, the bare root
+    ``"."``, or a name with an empty label (``"a..b"``).
+
+    Every host comparison in the pipeline funnels through here (or
+    through :meth:`DnsName.parse`, which applies the same folding), so
+    mx-pattern matching, policy fetching, and probe caching can never
+    disagree about whether two spellings are the same host.
+    """
+    text = host.text if isinstance(host, DnsName) else host
+    text = text.strip().rstrip(".").casefold()
+    # An empty label survives the trailing-dot strip only as a leading
+    # dot or a ".." run; substring checks beat splitting on the scan
+    # hot path.
+    if not text or text.startswith(".") or ".." in text:
+        return ""
+    return text
+
 #: Multi-label public suffixes known to the simulation, beyond plain TLDs.
 DEFAULT_MULTI_LABEL_SUFFIXES = frozenset({
     "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.jp", "or.jp",
@@ -38,7 +63,7 @@ class DnsName:
 
     @classmethod
     def parse(cls, text: str) -> "DnsName":
-        text = text.strip().rstrip(".").lower()
+        text = text.strip().rstrip(".").casefold()
         if not text:
             raise ValueError("empty DNS name")
         labels = tuple(text.split("."))

@@ -11,9 +11,11 @@ set of DNS outcomes the paper's Figure 5 "DNS" bar aggregates.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import trace
 from repro.clock import Clock, Duration, Instant
 from repro.dns.name import DnsName
 from repro.dns.records import CnameRecord, ResourceRecord, RRType
@@ -69,6 +71,14 @@ class Resolver:
         self._cache: Dict[Tuple[DnsName, RRType], _CacheEntry] = {}
         self._cache_enabled = cache_enabled
         self._negative_ttl = negative_ttl
+        # Single-flight machinery: one lock guards the cache and the
+        # in-flight table, so a cacheable (name, rrtype) is live-queried
+        # by exactly one thread while concurrent lookups wait and then
+        # serve the stored answer as a cache hit.  This makes the
+        # query/hit counters — and the set of live queries the trace
+        # records — identical between serial and threaded backends.
+        self._flight_lock = threading.Lock()
+        self._inflight: Dict[Tuple[DnsName, RRType], threading.Event] = {}
         self.query_count = 0
         self.cache_hits = 0
         self.negative_cache_hits = 0
@@ -172,24 +182,83 @@ class Resolver:
 
     def _query_one(self, name: DnsName, rrtype: RRType
                    ) -> Tuple[List[ResourceRecord], CnameRecord | None]:
-        now = self._clock.now()
         key = (name, rrtype)
-        if self._cache_enabled:
-            entry = self._cache.get(key)
-            if entry is not None and entry.expires > now:
-                self.cache_hits += 1
-                if entry.negative is not None:
-                    self.negative_cache_hits += 1
-                    raise entry.negative(f"{name}/{rrtype.value} (cached)")
-                records = entry.records or []
-                cname = None
-                if (records and isinstance(records[0], CnameRecord)
-                        and rrtype is not RRType.CNAME):
-                    cname = records[0]
-                    records = []
-                return records, cname
+        tracer = trace.current_tracer() if trace.TRACING else None
+        if tracer is None:
+            # Untraced fast path: lock-free cache reads.  The answer is
+            # a pure function of the world either way; single-flight
+            # only matters when the query/hit *counters* must be
+            # deterministic (i.e. when a trace is being recorded).
+            if self._cache_enabled:
+                entry = self._cache.get(key)
+                if entry is not None and entry.expires > self._clock.now():
+                    self.cache_hits += 1
+                    if entry.negative is not None:
+                        self.negative_cache_hits += 1
+                        raise entry.negative(
+                            f"{name}/{rrtype.value} (cached)")
+                    records = entry.records or []
+                    if (records and isinstance(records[0], CnameRecord)
+                            and rrtype is not RRType.CNAME):
+                        return [], records[0]
+                    return records, None
+            self.query_count += 1
+            return self._query_live(name, rrtype, key)
+        if not self._cache_enabled:
+            with self._flight_lock:
+                self.query_count += 1
+            tracer.metrics.count("dns.queries")
+            return self._query_live(name, rrtype, key)
 
-        self.query_count += 1
+        while True:
+            now = self._clock.now()
+            with self._flight_lock:
+                entry = self._cache.get(key)
+                if entry is not None and entry.expires > now:
+                    self.cache_hits += 1
+                    tracer.metrics.count("dns.cache_hits")
+                    if entry.negative is not None:
+                        self.negative_cache_hits += 1
+                        tracer.metrics.count("dns.negative_cache_hits")
+                        raise entry.negative(
+                            f"{name}/{rrtype.value} (cached)")
+                    return self._entry_answer(entry, rrtype)
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = threading.Event()
+                    self._inflight[key] = flight
+                    break       # this thread owns the live query
+            # Another thread is resolving this key: wait, then re-check
+            # the cache.  A non-cacheable failure (timeout, SERVFAIL)
+            # leaves the cache empty, in which case the waiter becomes
+            # the next owner — the same per-lookup live query a serial
+            # scan would perform.
+            flight.wait()
+
+        try:
+            with self._flight_lock:
+                self.query_count += 1
+            tracer.metrics.count("dns.queries")
+            return self._query_live(name, rrtype, key)
+        finally:
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+            flight.set()
+
+    @staticmethod
+    def _entry_answer(entry: _CacheEntry, rrtype: RRType
+                      ) -> Tuple[List[ResourceRecord], CnameRecord | None]:
+        records = entry.records or []
+        cname = None
+        if (records and isinstance(records[0], CnameRecord)
+                and rrtype is not RRType.CNAME):
+            cname = records[0]
+            records = []
+        return records, cname
+
+    def _query_live(self, name: DnsName, rrtype: RRType,
+                    key: Tuple[DnsName, RRType]
+                    ) -> Tuple[List[ResourceRecord], CnameRecord | None]:
         servers = self.servers_for(name)
         if not servers:
             raise DnsTimeout(f"no delegation covers {name}")
@@ -233,18 +302,22 @@ class Resolver:
         if not self._cache_enabled:
             return
         ttl = min(r.ttl for r in records)
-        self._cache[key] = _CacheEntry(
-            self._clock.now() + Duration(ttl), list(records))
+        entry = _CacheEntry(self._clock.now() + Duration(ttl), list(records))
+        with self._flight_lock:
+            self._cache[key] = entry
 
     def _store_negative(self, key, error_type: type) -> None:
         if not self._cache_enabled:
             return
-        self._cache[key] = _CacheEntry(
+        entry = _CacheEntry(
             self._clock.now() + Duration(self._negative_ttl), None,
             error_type)
+        with self._flight_lock:
+            self._cache[key] = entry
 
     def flush_cache(self) -> None:
-        self._cache.clear()
+        with self._flight_lock:
+            self._cache.clear()
 
     # -- instrumentation --------------------------------------------------
 

@@ -212,6 +212,13 @@ class PolicySyntaxError(enum.Enum):
     DUPLICATE_KEY = "duplicate-key"
 
 
+class PolicyWarning(enum.Enum):
+    """Non-fatal policy faults: the policy stays usable, but the census
+    records the deviation (a silent clamp would hide it)."""
+
+    MAX_AGE_OVER_BOUND = "max-age-over-bound"
+
+
 class MisconfigCategory(enum.Enum):
     """The paper's four top-level misconfiguration categories (Figure 4)."""
 

@@ -37,10 +37,12 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.clock import Instant
+from repro.dns.name import canonical_host
 from repro.ecosystem.world import World
 from repro.measurement.scanner import Scanner
 from repro.measurement.snapshots import SnapshotStore
 from repro.pki.validation import chain_cache_stats, flush_chain_cache
+from repro.trace import MetricsRegistry, TraceReport, Tracer
 
 BACKENDS = ("serial", "threaded")
 
@@ -92,6 +94,38 @@ class ScanStats:
         for name in self._COUNTERS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    @classmethod
+    def from_metrics(cls, metrics: MetricsRegistry, *,
+                     backend: str = "serial", jobs: int = 1,
+                     months: int = 1, scan_seconds: float = 0.0,
+                     world_build_seconds: float = 0.0) -> "ScanStats":
+        """A stats block as a *view* over a merged trace registry.
+
+        When tracing is enabled the registry is incremented at exactly
+        the sites where the legacy world counters are, so this view
+        must equal the counter-delta stats the executor computes — the
+        trace determinism tests assert that equality.
+        """
+        get = metrics.get
+        return cls(
+            backend=backend, jobs=jobs, months=months,
+            domains_scanned=get("scan.domains"),
+            world_build_seconds=world_build_seconds,
+            scan_seconds=scan_seconds,
+            dns_queries=get("dns.queries"),
+            dns_cache_hits=get("dns.cache_hits"),
+            dns_negative_cache_hits=get("dns.negative_cache_hits"),
+            policy_fetches=get("policy.fetches"),
+            smtp_probes=get("smtp.probes"),
+            smtp_probe_cache_hits=get("smtp.cache_hits"),
+            pkix_validations=get("pkix.validations"),
+            pkix_cache_hits=get("pkix.cache_hits"),
+            connect_retries=get("net.connect_retries"),
+            faults_injected=get("net.faults_injected"),
+            retry_backoff_seconds=get("net.backoff_micros") / 1_000_000,
+            transient_domains=get("scan.transient_domains"),
+        )
+
     def as_dict(self) -> Dict[str, int | float | str]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
@@ -136,7 +170,7 @@ def partition_domains(domains: Iterable[str],
     the same partition, independent of input order or duplicates.
     Sizes differ by at most one, earlier shards taking the remainder.
     """
-    ordered = sorted({d.lower().rstrip(".") for d in domains})
+    ordered = sorted({canonical_host(d) for d in domains} - {""})
     shards = max(1, min(shards, len(ordered)) if ordered else 1)
     base, remainder = divmod(len(ordered), shards)
     slices: List[List[str]] = []
@@ -158,7 +192,8 @@ class ScanExecutor:
     scan start so memory stays bounded across a long campaign.
     """
 
-    def __init__(self, *, backend: str = "serial", jobs: int = 1):
+    def __init__(self, *, backend: str = "serial", jobs: int = 1,
+                 trace: bool = False):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -166,6 +201,10 @@ class ScanExecutor:
             raise ValueError("jobs must be >= 1")
         self.backend = backend
         self.jobs = jobs if backend == "threaded" else 1
+        #: With tracing on, every scan leaves its merged
+        #: :class:`~repro.trace.TraceReport` on :attr:`last_trace`.
+        self.trace_enabled = trace
+        self.last_trace: Optional[TraceReport] = None
 
     def scan(self, world: World, domains: Iterable[str], month_index: int,
              store: Optional[SnapshotStore] = None,
@@ -190,7 +229,7 @@ class ScanExecutor:
                 scanners = self._scan_threaded(world, shards, month_index,
                                                instant, store)
             else:
-                scanner = Scanner(world)
+                scanner = Scanner(world, tracer=self._new_tracer())
                 scanner.scan_all(
                     [d for shard in shards for d in shard],
                     month_index, store, instant)
@@ -199,6 +238,11 @@ class ScanExecutor:
             probe.flush_cache()
             probe.cache_enabled = probe_was_cached
         elapsed = time.perf_counter() - started
+
+        if self.trace_enabled:
+            self.last_trace = TraceReport.merge(
+                [s.tracer for s in scanners if s.tracer is not None],
+                instant.epoch_seconds)
 
         after = self._counters(world)
         stats = ScanStats(
@@ -215,7 +259,8 @@ class ScanExecutor:
                        month_index: int, instant: Instant,
                        store: SnapshotStore) -> List[Scanner]:
         """One Scanner per shard; merge shard stores in shard order."""
-        scanners = [Scanner(world) for _ in shards]
+        scanners = [Scanner(world, tracer=self._new_tracer())
+                    for _ in shards]
         shard_stores = [SnapshotStore() for _ in shards]
         with ThreadPoolExecutor(max_workers=len(shards)) as pool:
             futures = [
@@ -229,6 +274,9 @@ class ScanExecutor:
         for shard_store in shard_stores:
             store.merge(shard_store)
         return scanners
+
+    def _new_tracer(self) -> Optional[Tracer]:
+        return Tracer() if self.trace_enabled else None
 
     @staticmethod
     def _counters(world: World) -> Dict[str, int | float]:

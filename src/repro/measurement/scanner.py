@@ -17,27 +17,34 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro import trace
 from repro.clock import Instant
 from repro.core.fetch import PolicyFetcher
 from repro.core.tlsrpt import lookup_tlsrpt
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import RRType
 from repro.dns.resolver import Resolver
 from repro.ecosystem.world import World
 from repro.measurement.snapshots import (
     DomainSnapshot, MxObservation, SnapshotStore,
 )
+from repro.measurement.taxonomy import primary_bucket
 from repro.smtp.client import SmtpProbe
 
 
 class Scanner:
     """Scans domains in one world into snapshot records."""
 
-    def __init__(self, world: World):
+    def __init__(self, world: World,
+                 tracer: Optional[trace.Tracer] = None):
         self._world = world
         self._resolver: Resolver = world.resolver
         self._fetcher = PolicyFetcher(world.resolver, world.https_client)
         self._probe: SmtpProbe = world.smtp_probe
+        #: When set, every scanned domain records a span tree on this
+        #: tracer (bound thread-locally for the duration of the scan so
+        #: the resolver / HTTPS / SMTP clients report into it).
+        self._tracer = tracer
         #: Domains whose snapshot carried any transient marker —
         #: retry-exhausted injected faults (ScanStats accounting).
         self.transient_domains = 0
@@ -47,20 +54,38 @@ class Scanner:
         """Policy discovery pipelines this scanner has run (ScanStats)."""
         return self._fetcher.fetch_count
 
+    @property
+    def tracer(self) -> Optional[trace.Tracer]:
+        return self._tracer
+
     def scan_domain(self, domain: str, month_index: int,
                     instant: Optional[Instant] = None) -> DomainSnapshot:
-        domain = domain.lower().rstrip(".")
+        domain = canonical_host(domain)
         snapshot = DomainSnapshot(
             domain=domain, tld=domain.rsplit(".", 1)[-1],
             month_index=month_index,
             instant=instant or self._world.now())
 
-        self._scan_dns(snapshot)
-        self._scan_policy(snapshot)
-        self._scan_mx(snapshot)
+        if self._tracer is None:
+            self._scan_stages(snapshot)
+        else:
+            with trace.bind(self._tracer), self._tracer.domain_span(
+                    domain, month_index,
+                    snapshot.instant.epoch_seconds) as span:
+                self._scan_stages(snapshot)
+                span.event("verdict", bucket=primary_bucket(snapshot),
+                           transient=snapshot.any_transient)
+                self._tracer.metrics.count("scan.domains")
+                if snapshot.any_transient:
+                    self._tracer.metrics.count("scan.transient_domains")
         if snapshot.any_transient:
             self.transient_domains += 1
         return snapshot
+
+    def _scan_stages(self, snapshot: DomainSnapshot) -> None:
+        self._scan_dns(snapshot)
+        self._scan_policy(snapshot)
+        self._scan_mx(snapshot)
 
     def scan_all(self, domains: Iterable[str], month_index: int,
                  store: Optional[SnapshotStore] = None,
@@ -82,24 +107,46 @@ class Scanner:
 
     def _scan_dns(self, snapshot: DomainSnapshot) -> None:
         domain = snapshot.domain
-        ns, error = self._resolver.resolve_detailed(domain, RRType.NS)
-        self._note_transient(snapshot, error)
-        if ns is not None:
-            snapshot.ns_hostnames = sorted(
-                r.nsdname.text for r in ns.records)   # type: ignore[attr-defined]
-        apex_a, error = self._resolver.resolve_detailed(domain, RRType.A)
-        self._note_transient(snapshot, error)
-        if apex_a is not None:
-            snapshot.apex_addresses = sorted(
-                r.address.text for r in apex_a.records)  # type: ignore[attr-defined]
-        mx, error = self._resolver.resolve_detailed(domain, RRType.MX)
-        self._note_transient(snapshot, error)
-        if mx is not None:
-            records = sorted(mx.records,
-                             key=lambda r: (r.preference, r.exchange.text))  # type: ignore[attr-defined]
-            snapshot.mx_hostnames = [r.exchange.text for r in records]  # type: ignore[attr-defined]
-        snapshot.tlsrpt_present = (
-            lookup_tlsrpt(self._resolver, domain) is not None)
+        with trace.child_span("dns", domain):
+            ns, error = self._resolver.resolve_detailed(domain, RRType.NS)
+            self._note_transient(snapshot, error)
+            if ns is not None:
+                snapshot.ns_hostnames = sorted(
+                    r.nsdname.text for r in ns.records)   # type: ignore[attr-defined]
+            if trace.TRACING:
+                trace.event("lookup", rrtype="NS",
+                            outcome=self._lookup_outcome(ns, error))
+            apex_a, error = self._resolver.resolve_detailed(
+                domain, RRType.A)
+            self._note_transient(snapshot, error)
+            if apex_a is not None:
+                snapshot.apex_addresses = sorted(
+                    r.address.text for r in apex_a.records)  # type: ignore[attr-defined]
+            if trace.TRACING:
+                trace.event("lookup", rrtype="A",
+                            outcome=self._lookup_outcome(apex_a, error))
+            mx, error = self._resolver.resolve_detailed(domain, RRType.MX)
+            self._note_transient(snapshot, error)
+            if mx is not None:
+                records = sorted(
+                    mx.records,
+                    key=lambda r: (r.preference, r.exchange.text))  # type: ignore[attr-defined]
+                snapshot.mx_hostnames = [r.exchange.text for r in records]  # type: ignore[attr-defined]
+            if trace.TRACING:
+                trace.event("lookup", rrtype="MX",
+                            outcome=self._lookup_outcome(mx, error))
+            snapshot.tlsrpt_present = (
+                lookup_tlsrpt(self._resolver, domain) is not None)
+            if trace.TRACING:
+                trace.event("tlsrpt", present=snapshot.tlsrpt_present)
+
+    @staticmethod
+    def _lookup_outcome(answer, error) -> str:
+        if answer is not None:
+            return f"ok:{len(answer.records)}"
+        if error is not None:
+            return type(error).__name__
+        return "no-answer"
 
     @staticmethod
     def _note_transient(snapshot: DomainSnapshot, error) -> None:
@@ -107,50 +154,69 @@ class Scanner:
             snapshot.dns_transient = True
 
     def _scan_policy(self, snapshot: DomainSnapshot) -> None:
-        result = self._fetcher.fetch_policy(snapshot.domain)
-        snapshot.txt_strings = result.txt_strings
-        snapshot.sts_like = result.sts_enabled
-        snapshot.policy_transient = result.transient
-        snapshot.record_valid = result.record is not None
-        if result.record is not None:
-            snapshot.record_id = result.record.id
-        if result.record_error is not None:
-            snapshot.record_error = result.record_error.value
-        if not result.sts_enabled:
-            return
+        with trace.child_span("policy", snapshot.domain):
+            result = self._fetcher.fetch_policy(snapshot.domain)
+            snapshot.txt_strings = result.txt_strings
+            snapshot.sts_like = result.sts_enabled
+            snapshot.policy_transient = result.transient
+            snapshot.record_valid = result.record is not None
+            if result.record is not None:
+                snapshot.record_id = result.record.id
+            if result.record_error is not None:
+                snapshot.record_error = result.record_error.value
+            if not result.sts_enabled:
+                return
 
-        snapshot.policy_host_cname = result.policy_host_cname
-        if result.fetch is not None:
-            snapshot.policy_host_addresses = [
-                ip.text for ip in result.fetch.resolved_ips]
-            snapshot.policy_http_status = result.fetch.status
-            if result.fetch.tls_failure is not None:
-                snapshot.policy_tls_failure = result.fetch.tls_failure.value
-        stage = result.failed_stage
-        snapshot.policy_fetch_stage = stage.value if stage else None
-        if result.policy_check is not None:
-            snapshot.policy_syntax_errors = [
-                e.value for e in result.policy_check.errors]
-        if result.policy is not None:
-            snapshot.policy_mode = result.policy.mode.value
-            snapshot.policy_max_age = result.policy.max_age
-            snapshot.mx_patterns = list(result.policy.mx_patterns)
+            snapshot.policy_host_cname = result.policy_host_cname
+            if result.fetch is not None:
+                snapshot.policy_host_addresses = [
+                    ip.text for ip in result.fetch.resolved_ips]
+                snapshot.policy_http_status = result.fetch.status
+                if result.fetch.tls_failure is not None:
+                    snapshot.policy_tls_failure = (
+                        result.fetch.tls_failure.value)
+            stage = result.failed_stage
+            snapshot.policy_fetch_stage = stage.value if stage else None
+            if result.policy_check is not None:
+                snapshot.policy_syntax_errors = [
+                    e.value for e in result.policy_check.errors]
+                snapshot.policy_warnings = [
+                    w.value for w in result.policy_check.warnings]
+            if result.policy is not None:
+                snapshot.policy_mode = result.policy.mode.value
+                snapshot.policy_max_age = result.policy.max_age
+                snapshot.mx_patterns = list(result.policy.mx_patterns)
+            if trace.TRACING:
+                trace.event(
+                    "policy-result",
+                    stage=snapshot.policy_fetch_stage or "ok",
+                    mode=snapshot.policy_mode or "",
+                    syntax_errors=list(snapshot.policy_syntax_errors),
+                    warnings=list(snapshot.policy_warnings))
 
     def _scan_mx(self, snapshot: DomainSnapshot) -> None:
-        for hostname in snapshot.mx_hostnames:
-            observation = MxObservation(hostname=hostname)
-            answer, error = self._resolver.resolve_detailed(
-                hostname, RRType.A)
-            if answer is not None:
-                observation.addresses = sorted(
-                    r.address.text for r in answer.records)  # type: ignore[attr-defined]
-            elif error is not None and getattr(error, "transient", False):
-                observation.transient = True
-            probe = self._probe.probe_host(hostname)
-            observation.reachable = probe.reachable
-            observation.starttls = probe.starttls_offered
-            observation.tls_established = probe.tls_established
-            observation.cert_valid = probe.cert_valid
-            observation.failure_class = probe.failure_class()
-            observation.transient = observation.transient or probe.transient
-            snapshot.mx_observations.append(observation)
+        with trace.child_span("mx", snapshot.domain):
+            for hostname in snapshot.mx_hostnames:
+                observation = MxObservation(hostname=hostname)
+                answer, error = self._resolver.resolve_detailed(
+                    hostname, RRType.A)
+                if answer is not None:
+                    observation.addresses = sorted(
+                        r.address.text for r in answer.records)  # type: ignore[attr-defined]
+                elif (error is not None
+                      and getattr(error, "transient", False)):
+                    observation.transient = True
+                probe = self._probe.probe_host(hostname)
+                observation.reachable = probe.reachable
+                observation.starttls = probe.starttls_offered
+                observation.tls_established = probe.tls_established
+                observation.cert_valid = probe.cert_valid
+                observation.failure_class = probe.failure_class()
+                observation.transient = (observation.transient
+                                         or probe.transient)
+                snapshot.mx_observations.append(observation)
+                if trace.TRACING:
+                    trace.event("mx-host", host=observation.hostname,
+                                verdict=observation.failure_class,
+                                transient=observation.transient,
+                                ref=f"probe:{canonical_host(hostname)}")

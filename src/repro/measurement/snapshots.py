@@ -64,6 +64,8 @@ class DomainSnapshot:
     policy_tls_failure: str = ""
     policy_http_status: Optional[int] = None
     policy_syntax_errors: List[str] = field(default_factory=list)
+    #: Non-fatal policy deviations (e.g. max_age over the RFC bound).
+    policy_warnings: List[str] = field(default_factory=list)
     policy_mode: str = ""
     policy_max_age: Optional[int] = None
     mx_patterns: List[str] = field(default_factory=list)

@@ -30,6 +30,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro import trace
 from repro.errors import (
     ConnectionRefused, ConnectionReset, ConnectionTimeout, HostUnreachable,
 )
@@ -215,11 +216,11 @@ class FaultPlan:
             if spec.kind is FaultKind.SLOW_START:
                 if timeout is None or spec.latency <= timeout:
                     continue    # slow but within budget: connect succeeds
-                self._count(spec.kind)
+                self._count(spec.kind, attempt)
                 raise _transient(ConnectionTimeout(
                     f"{endpoint} slow-start {spec.latency:.1f}s exceeded "
                     f"{timeout:.1f}s budget"))
-            self._count(spec.kind)
+            self._count(spec.kind, attempt)
             if spec.kind is FaultKind.REFUSE:
                 raise _transient(ConnectionRefused(
                     f"{endpoint} refused (injected, attempt {attempt})"))
@@ -233,11 +234,17 @@ class FaultPlan:
                 f"{endpoint} timed out (injected "
                 f"{spec.kind.value}, attempt {attempt})"))
 
-    def _count(self, kind: FaultKind) -> None:
+    def _count(self, kind: FaultKind, attempt: int = 0) -> None:
         with self._lock:
             self.injections += 1
             self.injected_by_kind[kind.value] = (
                 self.injected_by_kind.get(kind.value, 0) + 1)
+        tracer = trace.current_tracer() if trace.TRACING else None
+        if tracer is not None:
+            tracer.metrics.count("net.faults_injected")
+            span = tracer.current_span()
+            if span is not None:
+                span.event("fault", kind=kind.value, attempt=attempt)
 
 
 class Network:
@@ -297,6 +304,11 @@ class Network:
         """Charge virtual retry-backoff time (ScanStats accounting)."""
         with self._counter_lock:
             self.backoff_seconds += seconds
+        tracer = trace.current_tracer() if trace.TRACING else None
+        if tracer is not None:
+            delay_micros = trace.micros(seconds)
+            tracer.metrics.count("net.backoff_micros", delay_micros)
+            tracer.metrics.observe("retry.backoff", delay_micros)
 
     # -- client side --------------------------------------------------
 
@@ -325,6 +337,11 @@ class Network:
             self.connect_count += 1
             if attempt:
                 self.retried_connects += 1
+        tracer = trace.current_tracer() if trace.TRACING else None
+        if tracer is not None:
+            tracer.metrics.count("net.connects")
+            if attempt:
+                tracer.metrics.count("net.connect_retries")
         listener = self._listeners.get((ip.text, port))
         if self.fault_plan is not None:
             now_epoch = (self.clock.now().epoch_seconds

@@ -15,8 +15,9 @@ import weakref
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import trace
 from repro.clock import Instant
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.errors import TlsFailure
 from repro.pki.ca import TrustStore
 from repro.pki.certificate import Certificate
@@ -125,8 +126,7 @@ class _ChainValidationCache:
                  trust_store: TrustStore, now: Instant) -> ValidationResult:
         if cert is None:
             return validate_chain(cert, hostname, trust_store, now)
-        host = (hostname.text if isinstance(hostname, DnsName)
-                else hostname).lower().rstrip(".")
+        host = canonical_host(hostname)
         # ``revoked`` is excluded from the fingerprint's signed payload,
         # so it is part of the key explicitly.
         key = (cert.cert_fingerprint(), cert.revoked, host,
@@ -139,8 +139,12 @@ class _ChainValidationCache:
             cached = entries.get(key)
             if cached is not None:
                 self.cache_hits += 1
+                if trace.TRACING:
+                    trace.count("pkix.cache_hits")
                 return cached
             self.validations += 1
+            if trace.TRACING:
+                trace.count("pkix.validations")
             result = validate_chain(cert, host, trust_store, now)
             entries[key] = result
             return result

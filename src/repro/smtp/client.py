@@ -20,8 +20,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import trace
 from repro.clock import Clock
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import RRType
 from repro.dns.resolver import Resolver
 from repro.errors import DnsError, NetworkError, TlsError, TlsFailure
@@ -126,18 +127,31 @@ class SmtpProbe:
         compute-once under the threaded scan backend, so every backend
         observes an identical per-host probe sequence.
         """
-        name_text = (mx_hostname.text if isinstance(mx_hostname, DnsName)
-                     else mx_hostname).lower().rstrip(".")
+        name_text = canonical_host(mx_hostname)
+        tracer = trace.current_tracer() if trace.TRACING else None
         if not self.cache_enabled:
             self.probes_performed += 1
-            return self._probe_uncached(name_text)
+            if tracer is None:
+                return self._probe_uncached(name_text)
+            tracer.metrics.count("smtp.probes")
+            with tracer.resource(f"probe:{name_text}", "smtp-probe",
+                                 name_text):
+                return self._probe_uncached(name_text)
         with self._cache_lock:
             cached = self._cache.get(name_text)
             if cached is not None:
                 self.cache_hits += 1
+                if tracer is not None:
+                    tracer.metrics.count("smtp.cache_hits")
                 return cached
             self.probes_performed += 1
-            result = self._probe_uncached(name_text)
+            if tracer is None:
+                result = self._probe_uncached(name_text)
+            else:
+                tracer.metrics.count("smtp.probes")
+                with tracer.resource(f"probe:{name_text}", "smtp-probe",
+                                     name_text):
+                    result = self._probe_uncached(name_text)
             # A retry-exhausted transient verdict says nothing durable
             # about the host — memoizing it would serve a stale failure
             # after the endpoint recovers, so only settled outcomes
@@ -172,7 +186,10 @@ class SmtpProbe:
         except (ValueError, DnsError) as exc:
             result.detail = f"dns: {exc}"
             result.transient = getattr(exc, "transient", False)
+            trace.event("probe-dns", outcome=str(exc),
+                        transient=result.transient)
             return result
+        trace.event("probe-dns", outcome=f"ok:{len(addresses)}")
 
         server = None
         for address in addresses:
@@ -186,14 +203,18 @@ class SmtpProbe:
                 result.detail = f"tcp: {exc}"
                 result.transient = getattr(exc, "transient", False)
         if not _speaks_smtp(server):
+            trace.event("probe-tcp", outcome=result.detail or "no-smtp",
+                        transient=result.transient)
             return result
         result.reachable = True
         result.transient = False
+        trace.event("probe-tcp", outcome="connected")
 
         server.greet()
         ehlo = server.ehlo(self.client_name, self.client_ip)
         if ehlo.code == 451:
             result.greylisted = True
+            trace.event("greylisted", retry=self.retry_greylist)
             if not self.retry_greylist:
                 result.ehlo_code = ehlo.code
                 result.detail = "greylisted"
@@ -203,12 +224,16 @@ class SmtpProbe:
         if ehlo.code == 554:
             result.ehlo_code = ehlo.code
             result.detail = "rejected (FCrDNS policy)"
+            trace.event("ehlo", code=ehlo.code, outcome="rejected")
             return result
         if ehlo.code == 502:
             result.used_helo_fallback = True
             ehlo = server.helo(self.client_name)
+            trace.event("helo-fallback", code=ehlo.code)
         result.ehlo_code = ehlo.code
         result.starttls_offered = ehlo.starttls_offered
+        trace.event("ehlo", code=ehlo.code,
+                    starttls=ehlo.starttls_offered)
         if not ehlo.starttls_offered:
             result.detail = "starttls not offered"
             return result
@@ -220,11 +245,14 @@ class SmtpProbe:
         except TlsError as exc:
             result.tls_failure = exc.failure
             result.detail = str(exc)
+            trace.event("starttls", outcome=exc.failure.value)
             return result
         result.certificate = session.certificate
         result.validation = validate_chain_cached(
             session.certificate, name_text, self._trust_store,
             self._clock.now())
+        trace.event("starttls", outcome="established",
+                    verdict=result.failure_class())
         return result
 
     def probe_domain(self, domain: str | DnsName) -> list[ProbeResult]:

@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import trace
 from repro.clock import Clock
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.resolver import Resolver
 from repro.errors import (
     DnsError, NetworkError, PolicyFetchStage, TlsError, TlsFailure,
@@ -70,8 +71,7 @@ class HttpsClient:
 
     def fetch(self, host: str | DnsName, path: str,
               *, validate_tls: bool = True) -> FetchOutcome:
-        host_text = host.text if isinstance(host, DnsName) else host
-        host_text = host_text.lower().rstrip(".")
+        host_text = canonical_host(host)
         outcome = FetchOutcome(url=f"https://{host_text}{path}")
 
         # Stage 1: DNS
@@ -82,8 +82,14 @@ class HttpsClient:
             outcome.failed_stage = PolicyFetchStage.DNS
             outcome.transient = getattr(exc, "transient", False)
             outcome.detail = str(exc)
+            if trace.TRACING:
+                trace.event("fetch-stage", stage="dns", outcome=str(exc),
+                            transient=outcome.transient)
             return outcome
         outcome.resolved_ips = addresses
+        if trace.TRACING:
+            trace.event("fetch-stage", stage="dns",
+                        outcome=f"ok:{len(addresses)}")
 
         # Stage 2: TCP (each address retried under the policy)
         server = None
@@ -101,11 +107,20 @@ class HttpsClient:
             outcome.failed_stage = PolicyFetchStage.TCP
             outcome.transient = getattr(tcp_error, "transient", False)
             outcome.detail = str(tcp_error)
+            if trace.TRACING:
+                trace.event("fetch-stage", stage="tcp",
+                            outcome=str(tcp_error),
+                            transient=outcome.transient)
             return outcome
         if not isinstance(server, WebServer):
             outcome.failed_stage = PolicyFetchStage.TCP
             outcome.detail = "endpoint is not an HTTPS server"
+            if trace.TRACING:
+                trace.event("fetch-stage", stage="tcp",
+                            outcome=outcome.detail)
             return outcome
+        if trace.TRACING:
+            trace.event("fetch-stage", stage="tcp", outcome="connected")
 
         # Stage 3: TLS
         try:
@@ -118,7 +133,12 @@ class HttpsClient:
             outcome.failed_stage = PolicyFetchStage.TLS
             outcome.tls_failure = exc.failure
             outcome.detail = str(exc)
+            if trace.TRACING:
+                trace.event("fetch-stage", stage="tls",
+                            outcome=exc.failure.value)
             return outcome
+        if trace.TRACING:
+            trace.event("fetch-stage", stage="tls", outcome="established")
 
         # Stage 4: HTTP (redirects are treated as errors per RFC 8461)
         response = server.handle(host_text, path)
@@ -126,6 +146,11 @@ class HttpsClient:
         if response.status != 200:
             outcome.failed_stage = PolicyFetchStage.HTTP
             outcome.detail = f"HTTP {response.status}"
+            if trace.TRACING:
+                trace.event("fetch-stage", stage="http",
+                            outcome=f"status:{response.status}")
             return outcome
         outcome.body = response.body
+        if trace.TRACING:
+            trace.event("fetch-stage", stage="http", outcome="status:200")
         return outcome

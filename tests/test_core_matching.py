@@ -74,3 +74,23 @@ class TestPolicyCoverage:
     def test_all_patterns_used(self):
         policy = self.make_policy("*.example.com")
         assert unused_patterns(policy, ["mx1.example.com"]) == []
+
+
+class TestCanonicalisationParity:
+    """Pattern matching and DNS parsing must canonicalise identically
+    (the shared ``canonical_host`` helper is the fix)."""
+
+    def test_case_and_dot_insensitive_match(self):
+        assert mx_pattern_matches("MAIL.Example.COM.", "mail.example.com")
+        assert mx_pattern_matches("mail.example.com", " MAIL.EXAMPLE.COM. ")
+
+    def test_sharp_s_folds_like_dns_name(self):
+        from repro.dns.name import canonical_host
+        # lower() keeps "ẞ" as "ß" while DnsName.parse casefolds to
+        # "ss"; with a shared helper both sides agree.
+        assert mx_pattern_matches("straẞe.example", "strasse.example")
+        assert canonical_host("straẞe.example") == "strasse.example"
+
+    def test_empty_label_hosts_never_match(self):
+        assert not mx_pattern_matches("a..b", "a..b")
+        assert not mx_pattern_matches("*.example.com", "mx..example.com")

@@ -129,3 +129,63 @@ class TestLenientCheck:
         # treat like mode=none.
         check = check_policy_text("")
         assert check.errors == [PolicySyntaxError.EMPTY_FILE]
+
+
+class TestMaxAgeValidation:
+    """Regressions: ``str.isdigit`` accepts non-ASCII digits, and the
+    RFC 8461 upper bound used to be clamped silently."""
+
+    def test_arabic_indic_digits_rejected(self):
+        # "١٢٣".isdigit() is True and int("١٢٣") == 123, so the old
+        # check silently accepted a max_age no operator ever wrote.
+        check = check_policy_text(VALID.replace("604800", "١٢٣"))
+        assert PolicySyntaxError.INVALID_MAX_AGE in check.errors
+
+    def test_superscript_digits_rejected_not_crashed(self):
+        # "²".isdigit() is True but int("²") raises ValueError — the
+        # old code path crashed instead of reporting a syntax error.
+        check = check_policy_text(VALID.replace("604800", "²³"))
+        assert PolicySyntaxError.INVALID_MAX_AGE in check.errors
+
+    def test_fullwidth_digits_rejected(self):
+        check = check_policy_text(VALID.replace("604800", "１２３"))
+        assert PolicySyntaxError.INVALID_MAX_AGE in check.errors
+
+    def test_over_bound_max_age_warns_and_clamps(self):
+        from repro.errors import PolicyWarning
+        check = check_policy_text(
+            VALID.replace("604800", str(MAX_POLICY_AGE + 1)))
+        assert check.valid
+        assert check.policy.max_age == MAX_POLICY_AGE
+        assert check.warnings == [PolicyWarning.MAX_AGE_OVER_BOUND]
+        assert str(MAX_POLICY_AGE + 1) in check.warning_details[0]
+
+    def test_in_bound_max_age_has_no_warning(self):
+        check = check_policy_text(VALID)
+        assert check.valid
+        assert check.warnings == []
+        boundary = check_policy_text(
+            VALID.replace("604800", str(MAX_POLICY_AGE)))
+        assert boundary.valid
+        assert boundary.warnings == []
+        assert boundary.policy.max_age == MAX_POLICY_AGE
+
+
+class TestDuplicateKeys:
+    """RFC 8461 regression: repeated scalar keys must be flagged."""
+
+    @pytest.mark.parametrize("dupe", ["version: STSv1",
+                                      "mode: testing",
+                                      "max_age: 100"])
+    def test_duplicate_scalar_key_flagged(self, dupe):
+        check = check_policy_text(VALID + dupe + "\r\n")
+        assert PolicySyntaxError.DUPLICATE_KEY in check.errors
+
+    def test_strict_parse_raises_duplicate_key(self):
+        with pytest.raises(PolicyError) as excinfo:
+            parse_policy(VALID + "mode: testing\r\n")
+        assert excinfo.value.kind is PolicySyntaxError.DUPLICATE_KEY
+
+    def test_repeated_mx_keys_are_legal(self):
+        # mx is the one key RFC 8461 allows (requires) to repeat.
+        assert check_policy_text(VALID).valid

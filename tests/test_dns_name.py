@@ -122,3 +122,30 @@ class TestLevenshtein:
 
     def test_symmetry(self):
         assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw")
+
+
+class TestCanonicalHost:
+    def test_basic_canonicalisation(self):
+        from repro.dns.name import canonical_host
+        assert canonical_host(" MX1.Example.COM. ") == "mx1.example.com"
+        assert canonical_host(DnsName.parse("A.B.C")) == "a.b.c"
+
+    def test_casefold_not_lower(self):
+        from repro.dns.name import canonical_host
+        # Dotted capital I and sharp s have case mappings that
+        # str.lower() and str.casefold() disagree on; every comparison
+        # site must fold the same way, so the helper pins casefold.
+        assert canonical_host("ẞ.example") == "ss.example"
+        assert canonical_host("İ.example") == "İ".casefold() + ".example"
+
+    def test_empty_label_guard(self):
+        from repro.dns.name import canonical_host
+        assert canonical_host("a..b") == ""
+        assert canonical_host(".") == ""
+        assert canonical_host("") == ""
+        assert canonical_host("   ") == ""
+
+    def test_parse_matches_canonical_host(self):
+        from repro.dns.name import canonical_host
+        for text in ("MX1.Example.COM.", "  a.b  ", "X_Y.example"):
+            assert DnsName.parse(text).text == canonical_host(text)
