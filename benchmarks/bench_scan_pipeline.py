@@ -15,10 +15,26 @@ aborts if the outputs diverge.  The JSON report records wall-clock per
 configuration, the speedup over both the in-run reference and the
 recorded pre-optimisation baseline, and the per-stage ``ScanStats``.
 
+The run also exercises the observability layer: the incremental-serial
+campaign runs with a :class:`~repro.obs.monitor.CampaignMonitor`
+attached (its monthly metrics JSONL and the final month's Prometheus
+exposition are written when ``--metrics-out`` / ``--prom-out`` are
+given, and its health verdict lands in the report), and one extra
+profiled campaign records the wall-clock stage split plus the top
+slowest domains under the report's ``profile`` key.
+
+``--check BASELINE.json`` turns the run into a perf-regression gate:
+every configuration's wall-clock is compared against the baseline
+report's, and the run fails when any regresses by more than
+``--max-regression`` (default 25% — generous, because CI machines are
+not the reference machine).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scan_pipeline.py \
-        [--scale 0.02] [--seed 20240929] [--jobs 4] [--out BENCH_scan.json]
+        [--scale 0.02] [--seed 20240929] [--jobs 4] [--out BENCH_scan.json] \
+        [--check BASELINE.json] [--max-regression 0.25] \
+        [--metrics-out FILE.jsonl] [--prom-out FILE.prom]
 """
 
 from __future__ import annotations
@@ -32,6 +48,8 @@ from repro.analysis.series import run_campaign
 from repro.ecosystem.population import PopulationConfig
 from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
 from repro.measurement.executor import ScanExecutor
+from repro.obs.exporters import prometheus_exposition, write_lines_atomic
+from repro.obs.monitor import CampaignMonitor
 
 #: Wall-clock of the same workloads on the pre-optimisation tree
 #: (commit 25e7ef2: linear-scan delegation lookup, no memoization, full
@@ -75,20 +93,45 @@ def _figures_digest(analysis) -> str:
 
 
 def _run(config: PopulationConfig, *, incremental: bool,
-         backend: str, jobs: int) -> dict:
+         backend: str, jobs: int, monitor: CampaignMonitor = None,
+         profile: bool = False) -> dict:
     timeline = EcosystemTimeline(TimelineConfig(config))
-    executor = ScanExecutor(backend=backend, jobs=jobs)
+    executor = ScanExecutor(backend=backend, jobs=jobs, profile=profile)
     started = time.perf_counter()
     analysis = run_campaign(timeline, incremental=incremental,
-                            executor=executor)
+                            executor=executor, monitor=monitor)
     elapsed = time.perf_counter() - started
     totals = analysis.total_stats()
-    return {
+    result = {
         "seconds": round(elapsed, 3),
         "figures_sha256": _figures_digest(analysis),
         "stats": {k: (round(v, 3) if isinstance(v, float) else v)
                   for k, v in totals.as_dict().items()},
     }
+    if profile:
+        result["profile"] = executor.last_profile.to_dict()
+    return result
+
+
+def _check_regressions(results: dict, baseline_path: str,
+                       max_regression: float) -> list:
+    """Compare wall-clock per configuration against a baseline report;
+    returns the list of failures."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = []
+    for name, row in results.items():
+        base = baseline.get("results", {}).get(name)
+        if base is None:
+            continue
+        before, now = base["seconds"], row["seconds"]
+        change = (now - before) / before
+        verdict = "FAIL" if change > max_regression else "ok"
+        print(f"perf gate [{name}]: {before:.2f}s -> {now:.2f}s "
+              f"({change:+.1%}, limit +{max_regression:.0%}) {verdict}")
+        if change > max_regression:
+            failures.append(name)
+    return failures
 
 
 def main() -> int:
@@ -97,13 +140,29 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=20240929)
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--out", default="BENCH_scan.json")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail if any configuration regresses past "
+                             "--max-regression vs this baseline report")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="allowed wall-clock regression (default "
+                             "0.25 = 25%%)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the monitored campaign's monthly "
+                             "metrics JSONL feed to FILE")
+    parser.add_argument("--prom-out", default=None, metavar="FILE",
+                        help="write the final month's Prometheus "
+                             "exposition to FILE")
+    parser.add_argument("--skip-profile", action="store_true",
+                        help="skip the extra profiled campaign run")
     args = parser.parse_args()
 
     config = PopulationConfig(scale=args.scale, seed=args.seed)
+    monitor = CampaignMonitor()
     configurations = {
         "full-serial": dict(incremental=False, backend="serial", jobs=1),
         "incremental-serial": dict(incremental=True, backend="serial",
-                                   jobs=1),
+                                   jobs=1, monitor=monitor),
         "incremental-threaded": dict(incremental=True, backend="threaded",
                                      jobs=args.jobs),
     }
@@ -113,6 +172,28 @@ def main() -> int:
         print(f"running {name} ...", flush=True)
         results[name] = _run(config, **options)
         print(f"  {results[name]['seconds']:.2f}s", flush=True)
+
+    profile_report = None
+    if not args.skip_profile:
+        # One extra profiled campaign: its timings never replace the
+        # unprofiled measurements above (profiling adds wall-clock
+        # overhead by design), but its stage split and slowest-domain
+        # list are recorded for the next perf PR.
+        print("running incremental-serial (profiled) ...", flush=True)
+        profiled = _run(config, incremental=True, backend="serial",
+                        jobs=1, profile=True)
+        print(f"  {profiled['seconds']:.2f}s", flush=True)
+        reference = results["incremental-serial"]["seconds"]
+        profile_report = {
+            "seconds": profiled["seconds"],
+            "overhead_vs_unprofiled_percent": round(
+                100.0 * (profiled["seconds"] - reference) / reference, 1),
+            **profiled["profile"],
+        }
+        results["incremental-serial-profiled"] = {
+            "seconds": profiled["seconds"],
+            "figures_sha256": profiled["figures_sha256"],
+        }
 
     digests = {r["figures_sha256"] for r in results.values()}
     if len(digests) != 1:
@@ -145,6 +226,20 @@ def main() -> int:
                                           / before, 1),
             }
 
+    health = monitor.health()
+    print(f"campaign health: {health.level} "
+          f"({len(monitor.records)} months monitored)")
+    if args.metrics_out:
+        records = monitor.write_jsonl(args.metrics_out)
+        print(f"monthly metrics: {records} records -> {args.metrics_out}")
+    if args.prom_out:
+        last = monitor.records[-1]
+        write_lines_atomic(args.prom_out, prometheus_exposition(
+            last.metrics,
+            labels={"month": str(last.month_index)}).splitlines())
+        print(f"prometheus exposition: month {last.month_index} -> "
+              f"{args.prom_out}")
+
     report = {
         "scale": args.scale,
         "seed": args.seed,
@@ -159,6 +254,8 @@ def main() -> int:
                              / MEASURED_FIGURE4_SECONDS, 2),
         },
         "figures_identical_across_configs": True,
+        "campaign_health": health.as_dict(),
+        "profile": profile_report,
         "results": results,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -166,6 +263,14 @@ def main() -> int:
         handle.write("\n")
 
     print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = _check_regressions(results, args.check,
+                                      args.max_regression)
+        if failures:
+            print("FATAL: perf-regression gate failed for: "
+                  + ", ".join(failures))
+            return 1
     for name, row in retry_overhead.items():
         print(f"retry-layer overhead [{name}]: "
               f"{row['overhead_percent']:+.1f}% "

@@ -63,6 +63,10 @@ def render_trace_summary(report) -> str:
     """
     from collections import Counter
 
+    if not report.domain_spans and not report.resource_spans:
+        return ("scan trace summary\n"
+                "  no spans recorded (zero domains scanned)\n")
+
     verdicts: Counter = Counter()
     for span in report.domain_spans.values():
         for entry in span.events:
@@ -96,3 +100,55 @@ def render_trace_summary(report) -> str:
             title=f"retry backoff (virtual; {backoff.observations} "
                   f"delays, {total_s:.2f}s total)"))
     return "\n".join(sections)
+
+
+def render_profile(profile, width: int = 32) -> str:
+    """Flame-style text rendering of a wall-clock
+    :class:`~repro.obs.profile.ProfileReport`: one proportional bar per
+    pipeline stage, then the top-N slowest domains."""
+    total = profile.total_seconds
+    lines = [f"wall-clock stage profile "
+             f"({profile.domains_profiled:,} domains, "
+             f"{total:.2f}s in stages)"]
+    if not profile.stage_seconds:
+        lines.append("  no stages profiled")
+        return "\n".join(lines) + "\n"
+    for stage in sorted(profile.stage_seconds,
+                        key=lambda s: -profile.stage_seconds[s]):
+        seconds = profile.stage_seconds[stage]
+        share = seconds / total if total else 0.0
+        bar = "█" * max(1, round(share * width))
+        lines.append(f"  {stage:<8} {bar:<{width}} {seconds:8.3f}s "
+                     f"{100.0 * share:5.1f}%  "
+                     f"{profile.stage_calls.get(stage, 0):,} calls")
+    if profile.slowest:
+        lines.append("slowest domains:")
+        for seconds, month, domain in profile.slowest:
+            lines.append(f"  {domain:<28} m{month:02d} "
+                         f"{1000.0 * seconds:8.3f}ms")
+    return "\n".join(lines) + "\n"
+
+
+def render_drift_table(rows) -> str:
+    """The ``monitor`` subcommand's month-over-month signal table."""
+    if not rows:
+        return "(no monthly records)\n"
+    formatted = []
+    for row in rows:
+        formatted.append({
+            "month": f"m{int(row['month']):02d}",
+            "domains": int(row["domains"]),
+            "transient": f"{row['transient_rate']:.2%}",
+            "jump": (f"{row['transient_jump']:+.2%}"
+                     if "transient_jump" in row else "-"),
+            "dns-hit": f"{row['dns_hit_rate']:.1%}",
+            "smtp-hit": f"{row['smtp_hit_rate']:.1%}",
+            "retries/dom": f"{row['retries_per_domain']:.3f}",
+            "bucket-shift": (f"{row['max_bucket_shift']:.2%}"
+                             if "max_bucket_shift" in row else "-"),
+        })
+    return render_table(
+        formatted,
+        ("month", "domains", "transient", "jump", "dns-hit", "smtp-hit",
+         "retries/dom", "bucket-shift"),
+        title="month-over-month scan health")

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.monitor import CampaignMonitor
 
 from repro.ecosystem.timeline import (
     EcosystemTimeline, IncrementalMaterializer, MaterializedSnapshot,
@@ -182,7 +185,9 @@ class CampaignAnalysis:
 def run_campaign(timeline: EcosystemTimeline,
                  months: Optional[List[int]] = None,
                  *, incremental: bool = True,
-                 executor: Optional[ScanExecutor] = None) -> CampaignAnalysis:
+                 executor: Optional[ScanExecutor] = None,
+                 monitor: Optional["CampaignMonitor"] = None,
+                 ) -> CampaignAnalysis:
     """Materialise and scan every requested month (default: all).
 
     ``incremental`` materialises consecutive months by diffing one
@@ -190,7 +195,11 @@ def run_campaign(timeline: EcosystemTimeline,
     to rebuild each month from scratch — the slower reference path the
     equivalence tests compare against.  *executor* selects the scan
     backend (default: a serial :class:`ScanExecutor`); per-month
-    :class:`ScanStats` land in ``analysis.stats_by_month``.
+    :class:`ScanStats` land in ``analysis.stats_by_month``.  *monitor*
+    attaches a :class:`~repro.obs.monitor.CampaignMonitor`: every
+    finished month is snapshotted into its metrics feed (and, if the
+    monitor carries a ``jsonl_path``, appended to the on-disk feed as
+    the campaign runs).
     """
     if months is None:
         months = list(range(len(timeline.scan_instants)))
@@ -214,4 +223,8 @@ def run_campaign(timeline: EcosystemTimeline,
         verdicts = EntityClassifier(month_snaps).classify_all()
         analysis.verdicts_by_month[month] = verdicts
         analysis.summaries[month] = snapshot_summary(month_snaps, verdicts)
+        if monitor is not None:
+            monitor.observe_month(
+                month, materialized.instant.date_string(), stats,
+                month_snaps, build_stats=materialized.build_stats)
     return analysis

@@ -8,14 +8,25 @@
   assessment of a domain's MTA-STS posture from its zone file;
 * ``plan-removal <max_age_seconds>`` — print the RFC 8461 §2.6 removal
   sequence for a policy with the given max_age;
-* ``audit [--scale S] [--backend B --jobs N] [--stats]
+* ``audit [--scale S] [--backend B --jobs N] [--stats [--json]]
   [--fault-seed N --fault-rate R] [--trace FILE]
-  [--explain DOMAIN]`` — run the synthetic-ecosystem scan for the
-  final snapshot and print the misconfiguration census (with
-  ``--stats``, the per-stage scan statistics; with ``--fault-seed``,
-  deterministic network faults injected into the scan; with
-  ``--trace``, one JSONL span tree per scanned domain; with
-  ``--explain``, the human-readable span tree for one domain);
+  [--explain DOMAIN] [--metrics-out FILE] [--profile]
+  [--progress]`` — run the synthetic-ecosystem scan for the final
+  snapshot and print the misconfiguration census (with ``--stats``,
+  the per-stage scan statistics — as machine-readable JSON with
+  ``--json``; with ``--fault-seed``, deterministic network faults
+  injected into the scan; with ``--trace``, one JSONL span tree per
+  scanned domain; with ``--explain``, the human-readable span tree
+  for one domain; with ``--metrics-out``, the scan's metrics as a
+  Prometheus exposition; with ``--profile``, a wall-clock stage
+  profile; with ``--progress``, live heartbeats on stderr);
+* ``campaign [--scale S] [--backend B --jobs N]
+  [--metrics-out FILE] [--progress]`` — run the full monthly scan
+  campaign with the health monitor attached, write the monthly
+  metrics JSONL, and print the month-over-month health report
+  (exit 1 on any ALERT);
+* ``monitor FILE`` — re-evaluate a saved monthly metrics JSONL feed
+  against (configurable) health thresholds (exit 1 on any ALERT);
 * ``survey``                    — print the §7.2 survey statistics.
 """
 
@@ -96,6 +107,7 @@ def _cmd_plan_removal(args) -> int:
 
 
 def _cmd_audit(args) -> int:
+    import json
     import time
 
     from repro.ecosystem.population import PopulationConfig
@@ -103,6 +115,17 @@ def _cmd_audit(args) -> int:
     from repro.measurement.classify import EntityClassifier
     from repro.measurement.executor import ScanExecutor
     from repro.measurement.taxonomy import snapshot_summary
+
+    if args.json and not args.stats:
+        print("error: --json requires --stats", file=sys.stderr)
+        return 2
+
+    # With --json, stdout carries exactly one machine-readable JSON
+    # document; everything informational moves to stderr.
+    info_stream = sys.stderr if args.json else sys.stdout
+
+    def info(*values, **kwargs) -> None:
+        print(*values, file=info_stream, **kwargs)
 
     timeline = EcosystemTimeline(
         TimelineConfig(PopulationConfig(scale=args.scale, seed=args.seed)))
@@ -119,30 +142,44 @@ def _cmd_audit(args) -> int:
         materialized.world.network.install_fault_plan(
             FaultPlan.seeded(seed=args.fault_seed, rate=args.fault_rate))
     tracing = bool(args.trace or args.explain)
+    progress = None
+    if args.progress:
+        from repro.obs.progress import ProgressPrinter
+        progress = ProgressPrinter()
     executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
-                            trace=tracing)
+                            trace=tracing, profile=args.profile,
+                            progress=progress)
     store, stats = executor.scan(
         materialized.world, materialized.deployed.keys(), month)
     stats.world_build_seconds = build_seconds
     if args.trace:
         records = executor.last_trace.write_jsonl(args.trace)
-        print(f"trace: {records} records -> {args.trace}")
+        info(f"trace: {records} records -> {args.trace}")
     if args.explain:
-        print(executor.last_trace.explain(args.explain.strip().lower()))
-        print()
+        info(executor.last_trace.explain(args.explain.strip().lower()))
+        info()
     snapshots = store.month(month)
     summary = snapshot_summary(
         snapshots, EntityClassifier(snapshots).classify_all())
-    print(f"snapshot {materialized.instant.date_string()} "
-          f"(scale={args.scale})")
-    print(f"  MTA-STS domains      : {summary.total_sts}")
-    print(f"  misconfigured        : {summary.misconfigured} "
-          f"({summary.misconfigured_percent():.1f}%)")
-    print(f"  delivery failures    : {summary.delivery_failures}")
+    if args.metrics_out:
+        from repro.obs.exporters import prometheus_exposition
+        from repro.obs.monitor import build_month_registry
+        from repro.fsutil import atomic_write_text
+        registry = build_month_registry(stats, snapshots)
+        atomic_write_text(args.metrics_out, prometheus_exposition(
+            registry, labels={"month": str(month)}))
+        info(f"metrics: {len(registry.counters)} series -> "
+             f"{args.metrics_out}")
+    info(f"snapshot {materialized.instant.date_string()} "
+         f"(scale={args.scale})")
+    info(f"  MTA-STS domains      : {summary.total_sts}")
+    info(f"  misconfigured        : {summary.misconfigured} "
+         f"({summary.misconfigured_percent():.1f}%)")
+    info(f"  delivery failures    : {summary.delivery_failures}")
     if args.fault_seed is not None:
-        print(f"  transient (faulted)  : {summary.transient}")
+        info(f"  transient (faulted)  : {summary.transient}")
     for category, count in summary.category_counts.most_common():
-        print(f"  {category:<21}: {count}")
+        info(f"  {category:<21}: {count}")
 
     if args.show_repairs:
         from repro.measurement.repair import plan_repairs
@@ -155,14 +192,108 @@ def _cmd_audit(args) -> int:
             if not actions or not categorize(snapshot):
                 continue
             shown += 1
-            print(f"\n  repair plan for {snapshot.domain}:")
+            info(f"\n  repair plan for {snapshot.domain}:")
             for action in actions:
-                print(f"    {action.render()}")
+                info(f"    {action.render()}")
+
+    if args.profile:
+        from repro.analysis.report import render_profile
+        info()
+        info(render_profile(executor.last_profile), end="")
 
     if args.stats:
-        print()
-        print(stats.render_table())
+        if args.json:
+            print(json.dumps(stats.as_dict(), sort_keys=True))
+        else:
+            print()
+            print(stats.render_table())
     return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.analysis.report import render_drift_table
+    from repro.analysis.series import run_campaign
+    from repro.ecosystem.population import PopulationConfig
+    from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+    from repro.measurement.executor import ScanExecutor
+    from repro.obs.monitor import ALERT, CampaignMonitor
+
+    timeline = EcosystemTimeline(
+        TimelineConfig(PopulationConfig(scale=args.scale, seed=args.seed)))
+    progress = None
+    if args.progress:
+        from repro.obs.progress import ProgressPrinter
+        progress = ProgressPrinter()
+    executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
+                            progress=progress)
+    monitor = CampaignMonitor(_thresholds_from_args(args))
+    analysis = run_campaign(timeline, incremental=not args.full_rebuild,
+                            executor=executor, monitor=monitor)
+    if args.metrics_out:
+        records = monitor.write_jsonl(args.metrics_out)
+        print(f"monthly metrics: {records} records -> {args.metrics_out}")
+    totals = analysis.total_stats()
+    print(f"campaign: {len(monitor.records)} months, "
+          f"{totals.domains_scanned:,} domain scans "
+          f"({totals.scan_seconds:.2f}s scanning)")
+    print()
+    print(render_drift_table(monitor.drift()), end="")
+    print()
+    report = monitor.health()
+    print(report.render())
+    return 1 if report.level == ALERT else 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.analysis.report import render_drift_table
+    from repro.obs.monitor import ALERT, CampaignMonitor
+
+    monitor = CampaignMonitor.from_jsonl(
+        _read_text(args.feed), _thresholds_from_args(args))
+    if not monitor.records:
+        print(f"no monthly records found in {args.feed}")
+        return 1
+    print(render_drift_table(monitor.drift()), end="")
+    print()
+    report = monitor.health()
+    print(report.render())
+    return 1 if report.level == ALERT else 0
+
+
+def _thresholds_from_args(args):
+    from repro.obs.monitor import Thresholds
+
+    thresholds = Thresholds()
+    for name in ("transient_rate_alert", "transient_jump_alert",
+                 "cache_hit_drop_warn", "bucket_shift_warn",
+                 "retry_jump_warn"):
+        value = getattr(args, name, None)
+        if value is not None:
+            setattr(thresholds, name, value)
+    return thresholds
+
+
+def _add_threshold_arguments(parser) -> None:
+    parser.add_argument("--transient-rate-alert", type=_rate, default=None,
+                        dest="transient_rate_alert", metavar="R",
+                        help="ALERT when a month's transient share "
+                             "exceeds R")
+    parser.add_argument("--transient-jump-alert", type=_rate, default=None,
+                        dest="transient_jump_alert", metavar="R",
+                        help="ALERT when the transient share jumps by "
+                             "more than R month-over-month")
+    parser.add_argument("--cache-hit-drop-warn", type=_rate, default=None,
+                        dest="cache_hit_drop_warn", metavar="R",
+                        help="WARN when a cache hit rate drops by more "
+                             "than R month-over-month")
+    parser.add_argument("--bucket-shift-warn", type=_rate, default=None,
+                        dest="bucket_shift_warn", metavar="R",
+                        help="WARN when a taxonomy bucket's share moves "
+                             "by more than R month-over-month")
+    parser.add_argument("--retry-jump-warn", type=float, default=None,
+                        dest="retry_jump_warn", metavar="N",
+                        help="WARN when connect retries per domain jump "
+                             "by more than N month-over-month")
 
 
 def _cmd_survey(args) -> int:
@@ -264,6 +395,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(a positive integer)")
     audit.add_argument("--stats", action="store_true",
                        help="print the per-stage scan statistics table")
+    audit.add_argument("--json", action="store_true",
+                       help="with --stats: emit the statistics as a "
+                            "single JSON document on stdout (all other "
+                            "output moves to stderr)")
+    audit.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the scan's metrics registry as a "
+                            "Prometheus text exposition to FILE "
+                            "(written atomically)")
+    audit.add_argument("--profile", action="store_true",
+                       help="record wall-clock stage timers and print "
+                            "the flame-style profile")
+    audit.add_argument("--progress", action="store_true",
+                       help="print live scan heartbeats to stderr")
     audit.add_argument("--fault-seed", type=int, default=None,
                        metavar="SEED",
                        help="inject deterministic network faults into "
@@ -279,6 +423,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the span tree explaining DOMAIN's "
                             "scan verdict")
     audit.set_defaults(handler=_cmd_audit)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the monthly scan campaign with health monitoring")
+    campaign.add_argument("--scale", type=float, default=0.01)
+    campaign.add_argument("--seed", type=int, default=20240929)
+    campaign.add_argument("--backend", choices=("serial", "threaded"),
+                          default="serial")
+    campaign.add_argument("--jobs", type=_positive_int, default=1,
+                          metavar="N")
+    campaign.add_argument("--full-rebuild", action="store_true",
+                          help="rebuild the world from scratch every "
+                               "month instead of diffing")
+    campaign.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="write the monthly metrics JSONL feed to "
+                               "FILE (written atomically)")
+    campaign.add_argument("--progress", action="store_true",
+                          help="print live scan heartbeats to stderr")
+    _add_threshold_arguments(campaign)
+    campaign.set_defaults(handler=_cmd_campaign)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="evaluate a saved monthly metrics JSONL feed "
+             "('-' = stdin)")
+    monitor.add_argument("feed", help="monthly metrics JSONL file")
+    _add_threshold_arguments(monitor)
+    monitor.set_defaults(handler=_cmd_monitor)
 
     survey = sub.add_parser("survey", help="print the §7.2 statistics")
     survey.set_defaults(handler=_cmd_survey)

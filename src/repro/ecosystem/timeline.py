@@ -54,6 +54,10 @@ class MaterializedSnapshot:
     policy_providers: Dict[str, PolicyHostProvider]
     email_providers: Dict[str, EmailProvider]
     plans: Dict[str, DomainPlan]
+    #: World-build churn behind this snapshot (``deployed_new``,
+    #: ``redeployed``, ``certs_renewed``, ``full_rebuild``) — the
+    #: campaign monitor's view of how much the world moved this month.
+    build_stats: Dict[str, int] = field(default_factory=dict)
 
 
 class EcosystemTimeline:
@@ -173,6 +177,10 @@ class EcosystemTimeline:
         for plan in self.all_plans():
             if plan.adopted_by_week(week):
                 self._deploy_plan(state, plan, week, month_index)
+        state.last_build_stats = {
+            "deployed_new": len(state.deployed), "redeployed": 0,
+            "certs_renewed": 0, "full_rebuild": 1,
+        }
         return state
 
     def _deploy_plan(self, state: "_WorldState", plan: DomainPlan,
@@ -194,7 +202,8 @@ class EcosystemTimeline:
             instant=self.scan_instants[state.month_index],
             world=state.world, deployed=state.deployed,
             policy_providers=state.policy_providers,
-            email_providers=state.email_providers, plans=state.plans)
+            email_providers=state.email_providers, plans=state.plans,
+            build_stats=dict(state.last_build_stats))
 
     def _spec_for(self, plan: DomainPlan, week: int, month_index: int,
                   world: World,
@@ -257,6 +266,8 @@ class _WorldState:
     plans: Dict[str, DomainPlan] = field(default_factory=dict)
     #: domain -> the deployment-relevant signature it was built with
     signatures: Dict[str, tuple] = field(default_factory=dict)
+    #: churn counters of the most recent (full or delta) build
+    last_build_stats: Dict[str, int] = field(default_factory=dict)
 
 
 def _plan_signature(plan: DomainPlan, week: int, month_index: int) -> tuple:
@@ -318,20 +329,27 @@ class IncrementalMaterializer:
         # A fresh world starts with an empty resolver cache; every TTL
         # in the simulation is shorter than a scan interval anyway.
         world.resolver.flush_cache()
-        world.renew_certificates(valid_at=previous_instant)
+        certs_renewed = world.renew_certificates(valid_at=previous_instant)
 
+        deployed_new = redeployed = 0
         for plan in timeline.all_plans():
             if not plan.adopted_by_week(week):
                 continue
             existing = state.deployed.get(plan.name)
             if existing is None:
                 timeline._deploy_plan(state, plan, week, month_index)
+                deployed_new += 1
                 continue
             signature = _plan_signature(plan, week, month_index)
             if signature != state.signatures[plan.name]:
                 undeploy_domain(world, existing)
                 timeline._deploy_plan(state, plan, week, month_index)
+                redeployed += 1
         state.month_index = month_index
+        state.last_build_stats = {
+            "deployed_new": deployed_new, "redeployed": redeployed,
+            "certs_renewed": int(certs_renewed), "full_rebuild": 0,
+        }
         return timeline._snapshot(state)
 
 

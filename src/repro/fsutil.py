@@ -1,0 +1,32 @@
+"""Filesystem helpers shared by the trace and observability writers."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write *text* to *path* atomically.
+
+    The text goes to a temporary file in the target directory first and
+    is moved into place with :func:`os.replace`, so readers never see a
+    truncated artifact: an interrupted run leaves either the previous
+    file or the complete new one, never a partial write.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

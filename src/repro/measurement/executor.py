@@ -34,13 +34,15 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.clock import Instant
 from repro.dns.name import canonical_host
 from repro.ecosystem.world import World
 from repro.measurement.scanner import Scanner
 from repro.measurement.snapshots import SnapshotStore
+from repro.obs.profile import ProfileReport, StageProfiler
+from repro.obs.progress import ProgressEvent, ProgressTracker
 from repro.pki.validation import chain_cache_stats, flush_chain_cache
 from repro.trace import MetricsRegistry, TraceReport, Tracer
 
@@ -193,7 +195,9 @@ class ScanExecutor:
     """
 
     def __init__(self, *, backend: str = "serial", jobs: int = 1,
-                 trace: bool = False):
+                 trace: bool = False, profile: bool = False,
+                 progress: Optional[Callable[[ProgressEvent], None]] = None,
+                 heartbeat_every: int = 0):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -205,6 +209,16 @@ class ScanExecutor:
         #: :class:`~repro.trace.TraceReport` on :attr:`last_trace`.
         self.trace_enabled = trace
         self.last_trace: Optional[TraceReport] = None
+        #: With profiling on, every scan leaves its merged wall-clock
+        #: :class:`~repro.obs.profile.ProfileReport` on
+        #: :attr:`last_profile`.
+        self.profile_enabled = profile
+        self.last_profile: Optional[ProfileReport] = None
+        #: Progress callback: receives
+        #: :class:`~repro.obs.progress.ProgressEvent` heartbeats while
+        #: a scan runs (thread-safe under the threaded backend).
+        self.progress = progress
+        self.heartbeat_every = heartbeat_every
 
     def scan(self, world: World, domains: Iterable[str], month_index: int,
              store: Optional[SnapshotStore] = None,
@@ -214,6 +228,7 @@ class ScanExecutor:
         store = store if store is not None else SnapshotStore()
         instant = instant if instant is not None else world.now()
         shards = partition_domains(domains, self.jobs)
+        tracker = self._new_tracker(shards, month_index, instant)
 
         resolver = world.resolver
         probe = world.smtp_probe
@@ -227,22 +242,31 @@ class ScanExecutor:
         try:
             if self.backend == "threaded" and len(shards) > 1:
                 scanners = self._scan_threaded(world, shards, month_index,
-                                               instant, store)
+                                               instant, store, tracker)
             else:
-                scanner = Scanner(world, tracer=self._new_tracer())
+                scanner = Scanner(world, tracer=self._new_tracer(),
+                                  profiler=self._new_profiler())
                 scanner.scan_all(
                     [d for shard in shards for d in shard],
-                    month_index, store, instant)
+                    month_index, store, instant,
+                    on_domain=tracker.domain_done if tracker else None)
+                if tracker is not None:
+                    tracker.shard_done()
                 scanners = [scanner]
         finally:
             probe.flush_cache()
             probe.cache_enabled = probe_was_cached
+            if tracker is not None:
+                tracker.finish()
         elapsed = time.perf_counter() - started
 
         if self.trace_enabled:
             self.last_trace = TraceReport.merge(
                 [s.tracer for s in scanners if s.tracer is not None],
                 instant.epoch_seconds)
+        if self.profile_enabled:
+            self.last_profile = ProfileReport.merge(
+                [s.profiler for s in scanners if s.profiler is not None])
 
         after = self._counters(world)
         stats = ScanStats(
@@ -257,15 +281,26 @@ class ScanExecutor:
 
     def _scan_threaded(self, world: World, shards: Sequence[List[str]],
                        month_index: int, instant: Instant,
-                       store: SnapshotStore) -> List[Scanner]:
+                       store: SnapshotStore,
+                       tracker: Optional[ProgressTracker] = None,
+                       ) -> List[Scanner]:
         """One Scanner per shard; merge shard stores in shard order."""
-        scanners = [Scanner(world, tracer=self._new_tracer())
+        scanners = [Scanner(world, tracer=self._new_tracer(),
+                            profiler=self._new_profiler())
                     for _ in shards]
         shard_stores = [SnapshotStore() for _ in shards]
+
+        def scan_shard(scanner: Scanner, shard: List[str],
+                       shard_store: SnapshotStore) -> None:
+            scanner.scan_all(
+                shard, month_index, shard_store, instant,
+                on_domain=tracker.domain_done if tracker else None)
+            if tracker is not None:
+                tracker.shard_done()
+
         with ThreadPoolExecutor(max_workers=len(shards)) as pool:
             futures = [
-                pool.submit(scanner.scan_all, shard, month_index,
-                            shard_store, instant)
+                pool.submit(scan_shard, scanner, shard, shard_store)
                 for scanner, shard, shard_store
                 in zip(scanners, shards, shard_stores)
             ]
@@ -277,6 +312,20 @@ class ScanExecutor:
 
     def _new_tracer(self) -> Optional[Tracer]:
         return Tracer() if self.trace_enabled else None
+
+    def _new_profiler(self) -> Optional[StageProfiler]:
+        return StageProfiler() if self.profile_enabled else None
+
+    def _new_tracker(self, shards: Sequence[List[str]], month_index: int,
+                     instant: Instant) -> Optional[ProgressTracker]:
+        if self.progress is None:
+            return None
+        return ProgressTracker(
+            self.progress, month_index=month_index, backend=self.backend,
+            domains_total=sum(len(shard) for shard in shards),
+            shards_total=len(shards),
+            virtual_epoch=instant.epoch_seconds,
+            heartbeat_every=self.heartbeat_every)
 
     @staticmethod
     def _counters(world: World) -> Dict[str, int | float]:

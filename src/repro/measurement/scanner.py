@@ -15,7 +15,8 @@ per domain, appended to a :class:`SnapshotStore`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import time
+from typing import Callable, Iterable, Optional
 
 from repro import trace
 from repro.clock import Instant
@@ -29,6 +30,7 @@ from repro.measurement.snapshots import (
     DomainSnapshot, MxObservation, SnapshotStore,
 )
 from repro.measurement.taxonomy import primary_bucket
+from repro.obs.profile import StageProfiler
 from repro.smtp.client import SmtpProbe
 
 
@@ -36,7 +38,8 @@ class Scanner:
     """Scans domains in one world into snapshot records."""
 
     def __init__(self, world: World,
-                 tracer: Optional[trace.Tracer] = None):
+                 tracer: Optional[trace.Tracer] = None,
+                 profiler: Optional[StageProfiler] = None):
         self._world = world
         self._resolver: Resolver = world.resolver
         self._fetcher = PolicyFetcher(world.resolver, world.https_client)
@@ -45,6 +48,9 @@ class Scanner:
         #: tracer (bound thread-locally for the duration of the scan so
         #: the resolver / HTTPS / SMTP clients report into it).
         self._tracer = tracer
+        #: When set, every stage records its *wall-clock* seconds here
+        #: (never mixed into the deterministic trace metrics).
+        self._profiler = profiler
         #: Domains whose snapshot carried any transient marker —
         #: retry-exhausted injected faults (ScanStats accounting).
         self.transient_domains = 0
@@ -57,6 +63,10 @@ class Scanner:
     @property
     def tracer(self) -> Optional[trace.Tracer]:
         return self._tracer
+
+    @property
+    def profiler(self) -> Optional[StageProfiler]:
+        return self._profiler
 
     def scan_domain(self, domain: str, month_index: int,
                     instant: Optional[Instant] = None) -> DomainSnapshot:
@@ -83,24 +93,42 @@ class Scanner:
         return snapshot
 
     def _scan_stages(self, snapshot: DomainSnapshot) -> None:
-        self._scan_dns(snapshot)
-        self._scan_policy(snapshot)
-        self._scan_mx(snapshot)
+        profiler = self._profiler
+        if profiler is None:
+            self._scan_dns(snapshot)
+            self._scan_policy(snapshot)
+            self._scan_mx(snapshot)
+            return
+        started = time.perf_counter()
+        for stage, scan in (("dns", self._scan_dns),
+                            ("policy", self._scan_policy),
+                            ("mx", self._scan_mx)):
+            stage_started = time.perf_counter()
+            scan(snapshot)
+            profiler.record_stage(
+                stage, time.perf_counter() - stage_started)
+        profiler.record_domain(snapshot.domain, snapshot.month_index,
+                               time.perf_counter() - started)
 
     def scan_all(self, domains: Iterable[str], month_index: int,
                  store: Optional[SnapshotStore] = None,
-                 instant: Optional[Instant] = None) -> SnapshotStore:
+                 instant: Optional[Instant] = None,
+                 on_domain: Optional[Callable[[str], None]] = None,
+                 ) -> SnapshotStore:
         """Scan every domain into *store* at one shared *instant*.
 
         The instant is resolved once and threaded through to every
         :meth:`scan_domain` call, so all snapshots of one scan month
         carry the same timestamp even if the world clock moves while
-        the scan is in flight.
+        the scan is in flight.  *on_domain* is the progress hook: it is
+        called with each domain after its snapshot lands in the store.
         """
         store = store if store is not None else SnapshotStore()
         instant = instant if instant is not None else self._world.now()
         for domain in domains:
             store.add(self.scan_domain(domain, month_index, instant))
+            if on_domain is not None:
+                on_domain(domain)
         return store
 
     # -- stages -------------------------------------------------------------

@@ -1,0 +1,364 @@
+"""Longitudinal campaign health monitoring.
+
+The paper's contribution is month-over-month dynamics (Fig. 9, §5) —
+which makes the campaign itself a measurement instrument that can
+silently degrade.  A transient-rate spike is indistinguishable from an
+ecosystem regression unless the scanner's own health is tracked;
+related large-scale scans (Mayer et al., Czybik et al.) all monitor
+their pipelines for exactly this reason.
+
+:class:`CampaignMonitor` hooks into
+:func:`repro.analysis.series.run_campaign`: after every scan month it
+captures a deterministic :class:`~repro.trace.MetricsRegistry`
+snapshot (:func:`build_month_registry` — scan-stage counters, the
+taxonomy-bucket census, world-build churn), appends it to the monthly
+metrics feed, and evaluates configurable :class:`Thresholds` over the
+month-over-month drift into a :class:`HealthReport` of OK/WARN/ALERT
+findings.  Saved feeds re-evaluate offline through
+:meth:`CampaignMonitor.from_jsonl` (the CLI ``monitor`` subcommand).
+
+Everything recorded here is an integer (or a rounded-to-milliseconds
+virtual duration), so the monthly feed inherits the scan pipeline's
+serial/threaded byte-identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.measurement.taxonomy import PRIMARY_BUCKETS, primary_bucket
+from repro.obs.exporters import (
+    append_jsonl_line, month_jsonl_line, read_month_records,
+    write_lines_atomic,
+)
+from repro.trace import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.measurement.executor import ScanStats
+    from repro.measurement.snapshots import DomainSnapshot
+
+__all__ = [
+    "OK", "WARN", "ALERT",
+    "MonthRecord", "Thresholds", "HealthFinding", "HealthReport",
+    "CampaignMonitor", "build_month_registry",
+]
+
+OK, WARN, ALERT = "OK", "WARN", "ALERT"
+_SEVERITY = {OK: 0, WARN: 1, ALERT: 2}
+
+#: ScanStats integer counters mirrored into the monthly registry, by
+#: (stats attribute, registry key).  Wall-clock fields are deliberately
+#: absent — they would break serial/threaded byte-identity.
+_STAT_COUNTERS = (
+    ("domains_scanned", "scan.domains"),
+    ("transient_domains", "scan.transient_domains"),
+    ("dns_queries", "dns.queries"),
+    ("dns_cache_hits", "dns.cache_hits"),
+    ("dns_negative_cache_hits", "dns.negative_cache_hits"),
+    ("policy_fetches", "policy.fetches"),
+    ("smtp_probes", "smtp.probes"),
+    ("smtp_probe_cache_hits", "smtp.cache_hits"),
+    ("pkix_validations", "pkix.validations"),
+    ("pkix_cache_hits", "pkix.cache_hits"),
+    ("connect_retries", "net.connect_retries"),
+    ("faults_injected", "net.faults_injected"),
+)
+
+
+def build_month_registry(stats: "ScanStats",
+                         snapshots: Iterable["DomainSnapshot"] = (),
+                         *, build_stats: Optional[Dict[str, int]] = None,
+                         ) -> MetricsRegistry:
+    """The deterministic metrics snapshot for one scan month.
+
+    Combines the executor's integer :class:`ScanStats` counters, the
+    total-and-exclusive taxonomy-bucket census of the month's
+    snapshots, and (when given) the materialiser's world-build churn.
+    Virtual backoff is recorded in whole milliseconds: the underlying
+    float sum is order-sensitive in its last bits across thread
+    interleavings, integer milliseconds are not.
+    """
+    registry = MetricsRegistry()
+    for attribute, key in _STAT_COUNTERS:
+        registry.count(key, getattr(stats, attribute))
+    registry.count("net.backoff_millis",
+                   round(stats.retry_backoff_seconds * 1_000))
+    census = {bucket: 0 for bucket in PRIMARY_BUCKETS}
+    for snapshot in snapshots:
+        census[primary_bucket(snapshot)] += 1
+    for bucket, count in census.items():
+        registry.count(f"taxonomy.{bucket}", count)
+    for key, value in sorted((build_stats or {}).items()):
+        registry.count(f"build.{key}", int(value))
+    return registry
+
+
+@dataclass
+class MonthRecord:
+    """One scan month's registry snapshot inside the monitor."""
+
+    month_index: int
+    date: str
+    metrics: MetricsRegistry
+
+    # -- derived signals ----------------------------------------------
+
+    def domains(self) -> int:
+        return self.metrics.get("scan.domains")
+
+    def transient_rate(self) -> float:
+        domains = self.domains()
+        return (self.metrics.get("scan.transient_domains") / domains
+                if domains else 0.0)
+
+    def cache_hit_rate(self, stage: str) -> float:
+        """Cache hit share for ``dns`` / ``smtp`` / ``pkix``."""
+        work_key = {"dns": "dns.queries", "smtp": "smtp.probes",
+                    "pkix": "pkix.validations"}[stage]
+        hits = self.metrics.get(f"{stage}.cache_hits")
+        total = self.metrics.get(work_key) + hits
+        return hits / total if total else 0.0
+
+    def bucket_fractions(self) -> Dict[str, float]:
+        domains = self.domains()
+        if not domains:
+            return {bucket: 0.0 for bucket in PRIMARY_BUCKETS}
+        return {bucket: self.metrics.get(f"taxonomy.{bucket}") / domains
+                for bucket in PRIMARY_BUCKETS}
+
+    def retries_per_domain(self) -> float:
+        domains = self.domains()
+        return (self.metrics.get("net.connect_retries") / domains
+                if domains else 0.0)
+
+
+@dataclass
+class Thresholds:
+    """Configurable drift bounds; defaults calibrated so the clean
+    12-month campaign is all-OK while a seeded fault-rate bump alerts.
+
+    Rates are fractions in [0, 1]; ``*_drop``/``*_shift``/``*_jump``
+    bound month-over-month changes of those fractions.
+    """
+
+    #: absolute transient share of a month's scans (ALERT)
+    transient_rate_alert: float = 0.02
+    #: month-over-month increase of the transient share (ALERT)
+    transient_jump_alert: float = 0.01
+    #: month-over-month drop of a cache hit rate (WARN)
+    cache_hit_drop_warn: float = 0.25
+    #: month-over-month shift of any taxonomy-bucket fraction (WARN)
+    bucket_shift_warn: float = 0.15
+    #: month-over-month increase of connect retries per domain (WARN)
+    retry_jump_warn: float = 0.5
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class HealthFinding:
+    """One evaluated check: what was measured, against which bound."""
+
+    level: str
+    month_index: int
+    metric: str
+    value: float
+    threshold: float
+    detail: str
+
+    def render(self) -> str:
+        return (f"[{self.level:<5}] m{self.month_index:02d} "
+                f"{self.metric:<24} {self.detail}")
+
+
+@dataclass
+class HealthReport:
+    """Every OK/WARN/ALERT finding of one campaign evaluation."""
+
+    findings: List[HealthFinding] = field(default_factory=list)
+
+    @property
+    def level(self) -> str:
+        worst = OK
+        for finding in self.findings:
+            if _SEVERITY[finding.level] > _SEVERITY[worst]:
+                worst = finding.level
+        return worst
+
+    def ok(self) -> bool:
+        return self.level == OK
+
+    def at_level(self, level: str) -> List[HealthFinding]:
+        return [f for f in self.findings if f.level == level]
+
+    def render(self) -> str:
+        lines = [f"campaign health: {self.level} "
+                 f"({len(self.at_level(ALERT))} alert(s), "
+                 f"{len(self.at_level(WARN))} warning(s), "
+                 f"{len(self.at_level(OK))} month(s) clean)"]
+        lines.extend(finding.render() for finding in self.findings)
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"level": self.level,
+                "findings": [{"level": f.level, "month": f.month_index,
+                              "metric": f.metric, "value": f.value,
+                              "threshold": f.threshold,
+                              "detail": f.detail}
+                             for f in self.findings]}
+
+
+class CampaignMonitor:
+    """Collects per-month registry snapshots and evaluates drift.
+
+    ``jsonl_path`` turns on the live feed: every observed month is
+    appended to that file as it completes, so a crashed campaign still
+    leaves the months it finished.  :meth:`write_jsonl` additionally
+    writes the whole feed atomically (temp file + ``os.replace``).
+    """
+
+    def __init__(self, thresholds: Optional[Thresholds] = None,
+                 *, jsonl_path: Optional[str] = None):
+        self.thresholds = thresholds or Thresholds()
+        self.records: List[MonthRecord] = []
+        self.jsonl_path = jsonl_path
+
+    # -- capture ------------------------------------------------------
+
+    def observe_month(self, month_index: int, date: str,
+                      stats: "ScanStats",
+                      snapshots: Iterable["DomainSnapshot"] = (),
+                      *, build_stats: Optional[Dict[str, int]] = None,
+                      ) -> MonthRecord:
+        """Snapshot one finished scan month into the monitor."""
+        registry = build_month_registry(stats, snapshots,
+                                        build_stats=build_stats)
+        return self.add_record(MonthRecord(month_index, date, registry))
+
+    def add_record(self, record: MonthRecord) -> MonthRecord:
+        self.records.append(record)
+        self.records.sort(key=lambda r: r.month_index)
+        if self.jsonl_path is not None:
+            append_jsonl_line(
+                self.jsonl_path,
+                month_jsonl_line(record.month_index, record.date,
+                                 record.metrics))
+        return record
+
+    # -- (de)serialisation --------------------------------------------
+
+    def to_jsonl_lines(self) -> List[str]:
+        return [month_jsonl_line(r.month_index, r.date, r.metrics)
+                for r in self.records]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(self.to_jsonl_lines()) + "\n"
+
+    def write_jsonl(self, path: str) -> int:
+        """Atomically write the full monthly feed; returns the record
+        count."""
+        return write_lines_atomic(path, self.to_jsonl_lines())
+
+    @classmethod
+    def from_jsonl(cls, text: str,
+                   thresholds: Optional[Thresholds] = None,
+                   ) -> "CampaignMonitor":
+        monitor = cls(thresholds)
+        for month_index, date, registry in read_month_records(text):
+            monitor.records.append(
+                MonthRecord(month_index, date, registry))
+        return monitor
+
+    # -- evaluation ---------------------------------------------------
+
+    def drift(self) -> List[Dict[str, float]]:
+        """Month-over-month signal table (one row per month)."""
+        rows: List[Dict[str, float]] = []
+        previous: Optional[MonthRecord] = None
+        for record in self.records:
+            row: Dict[str, float] = {
+                "month": record.month_index,
+                "domains": record.domains(),
+                "transient_rate": record.transient_rate(),
+                "dns_hit_rate": record.cache_hit_rate("dns"),
+                "smtp_hit_rate": record.cache_hit_rate("smtp"),
+                "retries_per_domain": record.retries_per_domain(),
+                "backoff_millis": record.metrics.get("net.backoff_millis"),
+            }
+            if previous is not None:
+                row["transient_jump"] = (record.transient_rate()
+                                         - previous.transient_rate())
+                fractions = record.bucket_fractions()
+                before = previous.bucket_fractions()
+                shifts = {bucket: abs(fractions[bucket] - before[bucket])
+                          for bucket in fractions}
+                worst = max(shifts, key=lambda b: (shifts[b], b))
+                row["max_bucket_shift"] = shifts[worst]
+            rows.append(row)
+            previous = record
+        return rows
+
+    def health(self) -> HealthReport:
+        """Evaluate the thresholds over every observed month."""
+        report = HealthReport()
+        bounds = self.thresholds
+        previous: Optional[MonthRecord] = None
+        for record in self.records:
+            month_findings: List[HealthFinding] = []
+
+            rate = record.transient_rate()
+            if rate > bounds.transient_rate_alert:
+                month_findings.append(HealthFinding(
+                    ALERT, record.month_index, "transient-rate",
+                    rate, bounds.transient_rate_alert,
+                    f"transient share {rate:.2%} exceeds "
+                    f"{bounds.transient_rate_alert:.2%} — scanner or "
+                    f"network pathology, month is untrustworthy"))
+            if previous is not None:
+                jump = rate - previous.transient_rate()
+                if jump > bounds.transient_jump_alert:
+                    month_findings.append(HealthFinding(
+                        ALERT, record.month_index, "transient-rate-jump",
+                        jump, bounds.transient_jump_alert,
+                        f"transient share jumped {jump:+.2%} vs "
+                        f"m{previous.month_index:02d}"))
+                for stage in ("dns", "smtp"):
+                    drop = (previous.cache_hit_rate(stage)
+                            - record.cache_hit_rate(stage))
+                    if drop > bounds.cache_hit_drop_warn:
+                        month_findings.append(HealthFinding(
+                            WARN, record.month_index,
+                            f"{stage}-cache-collapse",
+                            drop, bounds.cache_hit_drop_warn,
+                            f"{stage} cache hit rate dropped "
+                            f"{drop:.2%} vs m{previous.month_index:02d}"))
+                fractions = record.bucket_fractions()
+                before = previous.bucket_fractions()
+                for bucket in sorted(fractions):
+                    shift = abs(fractions[bucket] - before[bucket])
+                    if shift > bounds.bucket_shift_warn:
+                        month_findings.append(HealthFinding(
+                            WARN, record.month_index,
+                            f"taxonomy-shift:{bucket}",
+                            shift, bounds.bucket_shift_warn,
+                            f"bucket '{bucket}' moved "
+                            f"{fractions[bucket] - before[bucket]:+.2%} "
+                            f"vs m{previous.month_index:02d}"))
+                retry_jump = (record.retries_per_domain()
+                              - previous.retries_per_domain())
+                if retry_jump > bounds.retry_jump_warn:
+                    month_findings.append(HealthFinding(
+                        WARN, record.month_index, "retry-spike",
+                        retry_jump, bounds.retry_jump_warn,
+                        f"connect retries per domain jumped "
+                        f"{retry_jump:+.2f} vs m{previous.month_index:02d}"))
+
+            if not month_findings:
+                month_findings.append(HealthFinding(
+                    OK, record.month_index, "all-checks", 0.0, 0.0,
+                    f"{record.domains()} domains, all checks passed"))
+            report.findings.extend(month_findings)
+            previous = record
+        return report

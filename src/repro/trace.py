@@ -178,6 +178,12 @@ class Histogram:
         return {"bounds": list(self.bounds), "counts": list(self.counts),
                 "total_micros": self.total_micros}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        return cls(bounds=tuple(data["bounds"]),
+                   counts=list(data["counts"]),
+                   total_micros=int(data["total_micros"]))
+
 
 class MetricsRegistry:
     """Counters and virtual-time histograms for one tracer.
@@ -219,6 +225,17 @@ class MetricsRegistry:
             "histograms": {k: self.histograms[k].to_dict()
                            for k in sorted(self.histograms)},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        """Inverse of :meth:`to_dict` (the metrics exporters'
+        re-parse path)."""
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counters[name] = int(value)
+        for name, payload in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(payload)
+        return registry
 
 
 # ---------------------------------------------------------------------------
@@ -444,10 +461,13 @@ class TraceReport:
         return "\n".join(self.jsonl_lines()) + "\n"
 
     def write_jsonl(self, path: str) -> int:
-        """Write the trace; returns the number of records written."""
+        """Write the trace atomically (temp file + ``os.replace``, so
+        an interrupted run never leaves a truncated trace); returns the
+        number of records written."""
+        from repro.fsutil import atomic_write_text
+
         lines = list(self.jsonl_lines())
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(lines) + "\n")
+        atomic_write_text(path, "\n".join(lines) + "\n")
         return len(lines)
 
     # -- inspection ---------------------------------------------------

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.analysis.report import format_percent, render_series, render_table
+from repro.analysis.report import (
+    format_percent, render_drift_table, render_series, render_table,
+    render_trace_summary,
+)
 from repro.analysis.series import run_campaign
 from repro.ecosystem.population import PopulationConfig
 from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
@@ -42,6 +45,48 @@ class TestRenderSeries:
     def test_format_percent(self):
         assert format_percent(12.345) == "12.3%"
         assert format_percent(12.345, 2) == "12.35%"
+
+
+class TestRenderTraceSummary:
+    def test_empty_report_has_explicit_notice(self):
+        # Regression: summarising a trace with zero recorded spans used
+        # to produce a bare "(empty)" table with no explanation.
+        from repro.trace import TraceReport
+        text = render_trace_summary(TraceReport())
+        assert "no spans recorded" in text
+        assert "zero domains scanned" in text
+
+    def test_zero_domain_scan_end_to_end(self):
+        from repro.measurement.executor import ScanExecutor
+        timeline = EcosystemTimeline(
+            TimelineConfig(PopulationConfig(scale=0.002, seed=3)))
+        materialized = timeline.materialize(0)
+        executor = ScanExecutor(trace=True)
+        _, stats = executor.scan(materialized.world, [], 0,
+                                 instant=materialized.instant)
+        assert stats.domains_scanned == 0
+        assert "no spans recorded" in render_trace_summary(
+            executor.last_trace)
+
+
+class TestRenderDriftTable:
+    def test_empty_rows(self):
+        assert "no monthly records" in render_drift_table([])
+
+    def test_first_month_has_no_deltas(self):
+        rows = [{"month": 0, "domains": 100, "transient_rate": 0.01,
+                 "dns_hit_rate": 0.4, "smtp_hit_rate": 0.3,
+                 "retries_per_domain": 0.02, "backoff_millis": 120},
+                {"month": 1, "domains": 110, "transient_rate": 0.02,
+                 "transient_jump": 0.01, "max_bucket_shift": 0.03,
+                 "dns_hit_rate": 0.4, "smtp_hit_rate": 0.3,
+                 "retries_per_domain": 0.02, "backoff_millis": 130}]
+        text = render_drift_table(rows)
+        assert "month-over-month scan health" in text
+        lines = text.splitlines()
+        assert lines[-2].startswith("m00")
+        assert "-" in lines[-2]            # missing deltas render as "-"
+        assert "+1.00%" in lines[-1]
 
 
 class TestCampaignAnalysis:
