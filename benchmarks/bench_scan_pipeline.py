@@ -1,14 +1,17 @@
 """Scan-pipeline benchmark: times the monthly component-scan campaign
 under each execution strategy and writes ``BENCH_scan.json``.
 
-Three configurations of the same campaign run at the benchmark scale
+Four configurations of the same campaign run at the benchmark scale
 (0.02, the scale the figure benchmarks use):
 
 * ``full-serial``        — from-scratch world per month, serial scan
   (the pre-optimisation reference path);
 * ``incremental-serial`` — one long-lived world updated by diffing
   (the default pipeline);
-* ``incremental-threaded`` — the same plus the sharded scan backend.
+* ``incremental-threaded`` — the same plus the sharded scan backend;
+* ``incremental-serial-checkpointed`` — the default pipeline with
+  durable per-month checkpoints (the report records the overhead,
+  capped at 10% by the acceptance criteria).
 
 Every configuration must produce identical figure series — the run
 aborts if the outputs diverge.  The JSON report records wall-clock per
@@ -94,12 +97,13 @@ def _figures_digest(analysis) -> str:
 
 def _run(config: PopulationConfig, *, incremental: bool,
          backend: str, jobs: int, monitor: CampaignMonitor = None,
-         profile: bool = False) -> dict:
+         profile: bool = False, state_dir: str = None) -> dict:
     timeline = EcosystemTimeline(TimelineConfig(config))
     executor = ScanExecutor(backend=backend, jobs=jobs, profile=profile)
     started = time.perf_counter()
     analysis = run_campaign(timeline, incremental=incremental,
-                            executor=executor, monitor=monitor)
+                            executor=executor, monitor=monitor,
+                            state_dir=state_dir)
     elapsed = time.perf_counter() - started
     totals = analysis.total_stats()
     result = {
@@ -157,21 +161,45 @@ def main() -> int:
                         help="skip the extra profiled campaign run")
     args = parser.parse_args()
 
+    import shutil
+    import tempfile
+
     config = PopulationConfig(scale=args.scale, seed=args.seed)
     monitor = CampaignMonitor()
+    state_dir = tempfile.mkdtemp(prefix="bench-campaign-store-")
     configurations = {
         "full-serial": dict(incremental=False, backend="serial", jobs=1),
         "incremental-serial": dict(incremental=True, backend="serial",
                                    jobs=1, monitor=monitor),
         "incremental-threaded": dict(incremental=True, backend="threaded",
                                      jobs=args.jobs),
+        # The default pipeline plus durable per-month checkpoints
+        # (shard + manifest commit after every scanned month) — the
+        # acceptance bar caps the overhead at 10% of incremental-serial.
+        "incremental-serial-checkpointed": dict(
+            incremental=True, backend="serial", jobs=1,
+            state_dir=state_dir),
     }
 
     results = {}
-    for name, options in configurations.items():
-        print(f"running {name} ...", flush=True)
-        results[name] = _run(config, **options)
-        print(f"  {results[name]['seconds']:.2f}s", flush=True)
+    try:
+        for name, options in configurations.items():
+            print(f"running {name} ...", flush=True)
+            results[name] = _run(config, **options)
+            print(f"  {results[name]['seconds']:.2f}s", flush=True)
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    checkpointed = results["incremental-serial-checkpointed"]
+    plain = results["incremental-serial"]["seconds"]
+    checkpoint_overhead = {
+        "plain_seconds": plain,
+        "checkpointed_seconds": checkpointed["seconds"],
+        "commit_seconds": checkpointed["stats"].get(
+            "checkpoint_seconds", 0.0),
+        "overhead_percent": round(
+            100.0 * (checkpointed["seconds"] - plain) / plain, 1),
+    }
 
     profile_report = None
     if not args.skip_profile:
@@ -246,6 +274,7 @@ def main() -> int:
         "months": 12,
         "seed_baseline_seconds": SEED_BASELINE_SECONDS,
         "retry_layer_overhead": retry_overhead,
+        "checkpoint_overhead": checkpoint_overhead,
         "figure4_benchmark": {
             "seed_baseline_seconds":
                 SEED_BASELINE_SECONDS["figure4_benchmark"],
@@ -276,6 +305,11 @@ def main() -> int:
               f"{row['overhead_percent']:+.1f}% "
               f"({row['pre_retry_seconds']}s -> "
               f"{row['measured_seconds']}s)")
+    print(f"checkpoint overhead: "
+          f"{checkpoint_overhead['overhead_percent']:+.1f}% "
+          f"({checkpoint_overhead['plain_seconds']}s -> "
+          f"{checkpoint_overhead['checkpointed_seconds']}s, "
+          f"{checkpoint_overhead['commit_seconds']:.2f}s in commits)")
     best = min(results, key=lambda n: results[n]["seconds"])
     line = f"fastest: {best} at {results[best]['seconds']:.2f}s"
     if comparable:

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:
     from repro.obs.monitor import CampaignMonitor
 
 from repro.ecosystem.timeline import (
     EcosystemTimeline, IncrementalMaterializer, MaterializedSnapshot,
+    population_to_dict, timeline_from_population,
 )
 from repro.errors import ManagingEntity, MisconfigCategory
 from repro.measurement.classify import EntityClassifier, EntityVerdict
@@ -182,11 +183,41 @@ class CampaignAnalysis:
         return self.summaries[self.store.latest_month()]
 
 
+def _load_committed(state_dir: str, timeline: EcosystemTimeline,
+                    months: List[int], resume: bool):
+    """The checkpointed months a (possibly resuming) campaign starts
+    from: ``(store, {month: MonthEntry})``."""
+    from repro.measurement.store_io import load_state, read_manifest
+
+    manifest = read_manifest(state_dir)
+    if manifest is None:
+        return SnapshotStore(), {}
+    committed = [int(entry["month"]) for entry in manifest.get("months", ())]
+    if committed and not resume:
+        raise ValueError(
+            f"state dir {state_dir!r} already holds "
+            f"{len(committed)} committed month(s); pass resume=True to "
+            f"continue that campaign or point at a fresh directory")
+    persisted = manifest.get("population")
+    current = population_to_dict(timeline.config.population)
+    if persisted is not None and persisted != current:
+        raise ValueError(
+            f"state dir {state_dir!r} was written by a campaign with a "
+            f"different population config ({persisted!r} != {current!r}); "
+            f"resuming it with this timeline would mix incompatible "
+            f"snapshots")
+    state = load_state(state_dir, months=months)
+    return state.store, {entry.month: entry for entry in state.months}
+
+
 def run_campaign(timeline: EcosystemTimeline,
                  months: Optional[List[int]] = None,
                  *, incremental: bool = True,
                  executor: Optional[ScanExecutor] = None,
                  monitor: Optional["CampaignMonitor"] = None,
+                 state_dir: Optional[str] = None,
+                 resume: bool = False,
+                 fault_plan_factory: Optional[Callable[[int], object]] = None,
                  ) -> CampaignAnalysis:
     """Materialise and scan every requested month (default: all).
 
@@ -200,24 +231,87 @@ def run_campaign(timeline: EcosystemTimeline,
     finished month is snapshotted into its metrics feed (and, if the
     monitor carries a ``jsonl_path``, appended to the on-disk feed as
     the campaign runs).
+
+    ``state_dir`` turns on durable checkpointing: each completed month
+    is committed atomically (shard + manifest, see
+    :mod:`repro.measurement.store_io`) the moment its scan finishes.
+    With ``resume=True`` a killed campaign continues from the last
+    committed month: committed months load from disk instead of being
+    rescanned, while — under the incremental materialiser — their world
+    *builds* are still replayed, so the long-lived world reaches the
+    first unscanned month in exactly the state an uninterrupted run
+    would have.  The resumed campaign's store is therefore
+    byte-identical (``canonical_bytes``) to an uninterrupted run's on
+    both backends, with or without fault plans.
+
+    ``fault_plan_factory`` (month -> FaultPlan or None) installs a
+    fault plan on the materialised world for each month's *scan* only;
+    materialisation — which the incremental path replays — is never
+    faulted.
     """
     if months is None:
         months = list(range(len(timeline.scan_instants)))
+    if resume and state_dir is None:
+        raise ValueError("resume=True requires a state_dir")
     executor = executor if executor is not None else ScanExecutor()
     materializer = IncrementalMaterializer(timeline) if incremental else None
-    store = SnapshotStore()
+    committed = {}
+    if state_dir is not None:
+        store, committed = _load_committed(state_dir, timeline, months,
+                                           resume)
+        population = population_to_dict(timeline.config.population)
+    else:
+        store = SnapshotStore()
     analysis = CampaignAnalysis(timeline=timeline, store=store)
     for month in months:
+        entry = committed.get(month)
+        if entry is not None:
+            # Committed month: skip the scan, replay the (cheap,
+            # deterministic) world build so incremental state carries
+            # forward exactly as in the uninterrupted run.
+            if materializer is not None:
+                materializer.materialize(month)
+            stats = ScanStats.from_dict(entry.stats)
+            analysis.stats_by_month[month] = stats
+            month_snaps = store.month(month)
+            verdicts = EntityClassifier(month_snaps).classify_all()
+            analysis.verdicts_by_month[month] = verdicts
+            analysis.summaries[month] = snapshot_summary(month_snaps,
+                                                         verdicts)
+            if monitor is not None:
+                monitor.observe_month(month, entry.date, stats, month_snaps,
+                                      build_stats=entry.build_stats)
+            continue
+
         built_at = time.perf_counter()
         if materializer is not None:
             materialized = materializer.materialize(month)
         else:
             materialized = timeline.materialize(month)
         build_seconds = time.perf_counter() - built_at
-        _, stats = executor.scan(
-            materialized.world, materialized.deployed.keys(), month,
-            store, materialized.instant)
+        if fault_plan_factory is not None:
+            materialized.world.network.install_fault_plan(
+                fault_plan_factory(month))
+        try:
+            _, stats = executor.scan(
+                materialized.world, materialized.deployed.keys(), month,
+                store, materialized.instant)
+        finally:
+            if fault_plan_factory is not None:
+                # Plans must never fault world materialisation: the
+                # incremental path replays deployment traffic next month.
+                materialized.world.network.install_fault_plan(None)
         stats.world_build_seconds = build_seconds
+        if state_dir is not None:
+            from repro.measurement.store_io import commit_month
+            stats.checkpoints_written = 1
+            commit_started = time.perf_counter()
+            commit_month(state_dir, store, month,
+                         date=materialized.instant.date_string(),
+                         stats=stats.as_dict(),
+                         build_stats=materialized.build_stats,
+                         population=population)
+            stats.checkpoint_seconds = time.perf_counter() - commit_started
         analysis.stats_by_month[month] = stats
         month_snaps = store.month(month)
         verdicts = EntityClassifier(month_snaps).classify_all()
@@ -227,4 +321,33 @@ def run_campaign(timeline: EcosystemTimeline,
             monitor.observe_month(
                 month, materialized.instant.date_string(), stats,
                 month_snaps, build_stats=materialized.build_stats)
+    return analysis
+
+
+def load_campaign(state_dir: str,
+                  *, timeline: Optional[EcosystemTimeline] = None,
+                  ) -> CampaignAnalysis:
+    """Rebuild a :class:`CampaignAnalysis` offline from a saved store.
+
+    Verifies and loads every committed month, restores each month's
+    :class:`ScanStats` from the manifest, and recomputes the derived
+    verdicts and summaries (pure functions of the snapshots) — so every
+    figure series, census, and drift table is available without
+    rescanning anything.  The timeline is rebuilt from the persisted
+    population config unless one is supplied.
+    """
+    from repro.measurement.store_io import load_state
+
+    state = load_state(state_dir)
+    if timeline is None:
+        timeline = timeline_from_population(state.population)
+    analysis = CampaignAnalysis(timeline=timeline, store=state.store)
+    for entry in state.months:
+        month_snaps = state.store.month(entry.month)
+        verdicts = EntityClassifier(month_snaps).classify_all()
+        analysis.verdicts_by_month[entry.month] = verdicts
+        analysis.summaries[entry.month] = snapshot_summary(month_snaps,
+                                                           verdicts)
+        analysis.stats_by_month[entry.month] = ScanStats.from_dict(
+            entry.stats)
     return analysis

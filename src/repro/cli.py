@@ -11,22 +11,29 @@
 * ``audit [--scale S] [--backend B --jobs N] [--stats [--json]]
   [--fault-seed N --fault-rate R] [--trace FILE]
   [--explain DOMAIN] [--metrics-out FILE] [--profile]
-  [--progress]`` — run the synthetic-ecosystem scan for the final
-  snapshot and print the misconfiguration census (with ``--stats``,
-  the per-stage scan statistics — as machine-readable JSON with
-  ``--json``; with ``--fault-seed``, deterministic network faults
-  injected into the scan; with ``--trace``, one JSONL span tree per
-  scanned domain; with ``--explain``, the human-readable span tree
-  for one domain; with ``--metrics-out``, the scan's metrics as a
-  Prometheus exposition; with ``--profile``, a wall-clock stage
-  profile; with ``--progress``, live heartbeats on stderr);
+  [--progress] [--save DIR | --load DIR]`` — run the
+  synthetic-ecosystem scan for the final snapshot and print the
+  misconfiguration census (with ``--stats``, the per-stage scan
+  statistics — as machine-readable JSON with ``--json``; with
+  ``--fault-seed``, deterministic network faults injected into the
+  scan; with ``--trace``, one JSONL span tree per scanned domain;
+  with ``--explain``, the human-readable span tree for one domain;
+  with ``--metrics-out``, the scan's metrics as a Prometheus
+  exposition; with ``--profile``, a wall-clock stage profile; with
+  ``--progress``, live heartbeats on stderr; with ``--save``, the
+  scanned month committed into a campaign store; with ``--load``,
+  the census runs offline from a saved store without scanning);
 * ``campaign [--scale S] [--backend B --jobs N]
-  [--metrics-out FILE] [--progress]`` — run the full monthly scan
+  [--metrics-out FILE] [--progress] [--state-dir DIR [--resume]]
+  [--fault-seed N --fault-rate R]`` — run the full monthly scan
   campaign with the health monitor attached, write the monthly
   metrics JSONL, and print the month-over-month health report
-  (exit 1 on any ALERT);
-* ``monitor FILE`` — re-evaluate a saved monthly metrics JSONL feed
-  against (configurable) health thresholds (exit 1 on any ALERT);
+  (exit 1 on any ALERT; with ``--state-dir``, each completed month
+  is committed atomically and ``--resume`` continues a killed run
+  from the last committed month);
+* ``monitor FILE|DIR`` — re-evaluate a saved monthly metrics JSONL
+  feed, or a campaign store directory, against (configurable)
+  health thresholds (exit 1 on any ALERT);
 * ``survey``                    — print the §7.2 survey statistics.
 """
 
@@ -112,13 +119,24 @@ def _cmd_audit(args) -> int:
 
     from repro.ecosystem.population import PopulationConfig
     from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+    from repro.errors import StoreCorruption
     from repro.measurement.classify import EntityClassifier
-    from repro.measurement.executor import ScanExecutor
+    from repro.measurement.executor import ScanExecutor, ScanStats
     from repro.measurement.taxonomy import snapshot_summary
 
     if args.json and not args.stats:
         print("error: --json requires --stats", file=sys.stderr)
         return 2
+    if args.load:
+        for flag, name in ((args.trace, "--trace"),
+                           (args.explain, "--explain"),
+                           (args.profile, "--profile"),
+                           (args.progress, "--progress"),
+                           (args.fault_seed, "--fault-seed")):
+            if flag:
+                print(f"error: {name} requires a live scan and cannot "
+                      f"be combined with --load", file=sys.stderr)
+                return 2
 
     # With --json, stdout carries exactly one machine-readable JSON
     # document; everything informational moves to stderr.
@@ -127,51 +145,98 @@ def _cmd_audit(args) -> int:
     def info(*values, **kwargs) -> None:
         print(*values, file=info_stream, **kwargs)
 
-    timeline = EcosystemTimeline(
-        TimelineConfig(PopulationConfig(scale=args.scale, seed=args.seed)))
-    month = (args.month if args.month is not None
-             else len(timeline.scan_instants) - 1)
-    built_at = time.perf_counter()
-    materialized = timeline.materialize(month)
-    build_seconds = time.perf_counter() - built_at
-    if args.fault_seed is not None:
-        # Installed after materialization so only scan traffic is
-        # faulted, never the deployment/ACME exchanges that build the
-        # world.
-        from repro.netsim.network import FaultPlan
-        materialized.world.network.install_fault_plan(
-            FaultPlan.seeded(seed=args.fault_seed, rate=args.fault_rate))
-    tracing = bool(args.trace or args.explain)
-    progress = None
-    if args.progress:
-        from repro.obs.progress import ProgressPrinter
-        progress = ProgressPrinter()
-    executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
-                            trace=tracing, profile=args.profile,
-                            progress=progress)
-    store, stats = executor.scan(
-        materialized.world, materialized.deployed.keys(), month)
-    stats.world_build_seconds = build_seconds
-    if args.trace:
-        records = executor.last_trace.write_jsonl(args.trace)
-        info(f"trace: {records} records -> {args.trace}")
-    if args.explain:
-        info(executor.last_trace.explain(args.explain.strip().lower()))
-        info()
-    snapshots = store.month(month)
-    summary = snapshot_summary(
-        snapshots, EntityClassifier(snapshots).classify_all())
-    if args.metrics_out:
-        from repro.obs.exporters import prometheus_exposition
-        from repro.obs.monitor import build_month_registry
-        from repro.fsutil import atomic_write_text
-        registry = build_month_registry(stats, snapshots)
-        atomic_write_text(args.metrics_out, prometheus_exposition(
-            registry, labels={"month": str(month)}))
-        info(f"metrics: {len(registry.counters)} series -> "
-             f"{args.metrics_out}")
-    info(f"snapshot {materialized.instant.date_string()} "
-         f"(scale={args.scale})")
+    if args.load:
+        # Offline: everything below runs from the checkpointed store,
+        # no world is built and nothing is scanned.
+        from repro.measurement.store_io import load_state
+        try:
+            state = load_state(args.load)
+        except StoreCorruption as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not state.months:
+            print(f"error: {args.load} holds no committed months",
+                  file=sys.stderr)
+            return 1
+        month = (args.month if args.month is not None
+                 else state.month_indexes()[-1])
+        entry = state.entry(month)
+        if entry is None:
+            print(f"error: month {month} is not committed in {args.load} "
+                  f"(committed: {state.month_indexes()})", file=sys.stderr)
+            return 1
+        snapshots = state.store.month(month)
+        stats = ScanStats.from_dict(entry.stats)
+        summary = snapshot_summary(
+            snapshots, EntityClassifier(snapshots).classify_all())
+        if args.metrics_out:
+            from repro.obs.exporters import prometheus_exposition
+            from repro.obs.monitor import build_month_registry
+            from repro.fsutil import atomic_write_text
+            registry = build_month_registry(stats, snapshots,
+                                            build_stats=entry.build_stats)
+            atomic_write_text(args.metrics_out, prometheus_exposition(
+                registry, labels={"month": str(month)}))
+            info(f"metrics: {len(registry.counters)} series -> "
+                 f"{args.metrics_out}")
+        info(f"snapshot {entry.date} (loaded from {args.load})")
+    else:
+        timeline = EcosystemTimeline(
+            TimelineConfig(PopulationConfig(scale=args.scale,
+                                            seed=args.seed)))
+        month = (args.month if args.month is not None
+                 else len(timeline.scan_instants) - 1)
+        built_at = time.perf_counter()
+        materialized = timeline.materialize(month)
+        build_seconds = time.perf_counter() - built_at
+        if args.fault_seed is not None:
+            # Installed after materialization so only scan traffic is
+            # faulted, never the deployment/ACME exchanges that build the
+            # world.
+            from repro.netsim.network import FaultPlan
+            materialized.world.network.install_fault_plan(
+                FaultPlan.seeded(seed=args.fault_seed, rate=args.fault_rate))
+        tracing = bool(args.trace or args.explain)
+        progress = None
+        if args.progress:
+            from repro.obs.progress import ProgressPrinter
+            progress = ProgressPrinter()
+        executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
+                                trace=tracing, profile=args.profile,
+                                progress=progress)
+        store, stats = executor.scan(
+            materialized.world, materialized.deployed.keys(), month)
+        stats.world_build_seconds = build_seconds
+        if args.trace:
+            records = executor.last_trace.write_jsonl(args.trace)
+            info(f"trace: {records} records -> {args.trace}")
+        if args.explain:
+            info(executor.last_trace.explain(args.explain.strip().lower()))
+            info()
+        snapshots = store.month(month)
+        summary = snapshot_summary(
+            snapshots, EntityClassifier(snapshots).classify_all())
+        if args.save:
+            from repro.ecosystem.timeline import population_to_dict
+            from repro.measurement.store_io import commit_month
+            commit_month(args.save, store, month,
+                         date=materialized.instant.date_string(),
+                         stats=stats.as_dict(),
+                         build_stats=materialized.build_stats,
+                         population=population_to_dict(
+                             timeline.config.population))
+            info(f"store: month {month} committed -> {args.save}")
+        if args.metrics_out:
+            from repro.obs.exporters import prometheus_exposition
+            from repro.obs.monitor import build_month_registry
+            from repro.fsutil import atomic_write_text
+            registry = build_month_registry(stats, snapshots)
+            atomic_write_text(args.metrics_out, prometheus_exposition(
+                registry, labels={"month": str(month)}))
+            info(f"metrics: {len(registry.counters)} series -> "
+                 f"{args.metrics_out}")
+        info(f"snapshot {materialized.instant.date_string()} "
+             f"(scale={args.scale})")
     info(f"  MTA-STS domains      : {summary.total_sts}")
     info(f"  misconfigured        : {summary.misconfigured} "
          f"({summary.misconfigured_percent():.1f}%)")
@@ -215,9 +280,13 @@ def _cmd_campaign(args) -> int:
     from repro.analysis.series import run_campaign
     from repro.ecosystem.population import PopulationConfig
     from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+    from repro.errors import StoreCorruption
     from repro.measurement.executor import ScanExecutor
     from repro.obs.monitor import ALERT, CampaignMonitor
 
+    if args.resume and not args.state_dir:
+        print("error: --resume requires --state-dir", file=sys.stderr)
+        return 2
     timeline = EcosystemTimeline(
         TimelineConfig(PopulationConfig(scale=args.scale, seed=args.seed)))
     progress = None
@@ -227,8 +296,25 @@ def _cmd_campaign(args) -> int:
     executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
                             progress=progress)
     monitor = CampaignMonitor(_thresholds_from_args(args))
-    analysis = run_campaign(timeline, incremental=not args.full_rebuild,
-                            executor=executor, monitor=monitor)
+    fault_plan_factory = None
+    if args.fault_seed is not None:
+        from repro.netsim.network import FaultPlan
+
+        def fault_plan_factory(month, _seed=args.fault_seed,
+                               _rate=args.fault_rate):
+            return FaultPlan.seeded(seed=_seed + month, rate=_rate)
+
+    try:
+        analysis = run_campaign(timeline, incremental=not args.full_rebuild,
+                                executor=executor, monitor=monitor,
+                                state_dir=args.state_dir, resume=args.resume,
+                                fault_plan_factory=fault_plan_factory)
+    except (StoreCorruption, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.state_dir:
+        print(f"store: {len(analysis.store.months())} months committed "
+              f"-> {args.state_dir}")
     if args.metrics_out:
         records = monitor.write_jsonl(args.metrics_out)
         print(f"monthly metrics: {records} records -> {args.metrics_out}")
@@ -245,11 +331,25 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_monitor(args) -> int:
+    import os
+
     from repro.analysis.report import render_drift_table
+    from repro.errors import StoreCorruption
     from repro.obs.monitor import ALERT, CampaignMonitor
 
-    monitor = CampaignMonitor.from_jsonl(
-        _read_text(args.feed), _thresholds_from_args(args))
+    if args.feed != "-" and os.path.isdir(args.feed):
+        # A directory is a checkpointed campaign store: health is
+        # re-evaluated from the persisted snapshots and stats rather
+        # than a pre-rendered metrics feed.
+        try:
+            monitor = CampaignMonitor.from_state(
+                args.feed, _thresholds_from_args(args))
+        except StoreCorruption as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        monitor = CampaignMonitor.from_jsonl(
+            _read_text(args.feed), _thresholds_from_args(args))
     if not monitor.records:
         print(f"no monthly records found in {args.feed}")
         return 1
@@ -422,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--explain", default=None, metavar="DOMAIN",
                        help="print the span tree explaining DOMAIN's "
                             "scan verdict")
+    audit.add_argument("--save", default=None, metavar="DIR",
+                       help="commit the scanned month into the campaign "
+                            "store at DIR")
+    audit.add_argument("--load", default=None, metavar="DIR",
+                       help="run the census offline from the campaign "
+                            "store at DIR instead of scanning "
+                            "(--month picks a committed month; default "
+                            "is the latest)")
     audit.set_defaults(handler=_cmd_audit)
 
     campaign = sub.add_parser(
@@ -441,14 +549,30 @@ def build_parser() -> argparse.ArgumentParser:
                                "FILE (written atomically)")
     campaign.add_argument("--progress", action="store_true",
                           help="print live scan heartbeats to stderr")
+    campaign.add_argument("--state-dir", default=None, metavar="DIR",
+                          help="checkpoint every completed month into "
+                               "the campaign store at DIR")
+    campaign.add_argument("--resume", action="store_true",
+                          help="with --state-dir: resume from the last "
+                               "committed month instead of refusing to "
+                               "reuse a non-empty store")
+    campaign.add_argument("--fault-seed", type=int, default=None,
+                          metavar="SEED",
+                          help="inject deterministic network faults into "
+                               "every month's scan, seeded by SEED")
+    campaign.add_argument("--fault-rate", type=_rate, default=0.2,
+                          metavar="R",
+                          help="fraction of endpoints each month's fault "
+                               "plan afflicts (default 0.2, range [0, 1])")
     _add_threshold_arguments(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
     monitor = sub.add_parser(
         "monitor",
         help="evaluate a saved monthly metrics JSONL feed "
-             "('-' = stdin)")
-    monitor.add_argument("feed", help="monthly metrics JSONL file")
+             "('-' = stdin) or a campaign store directory")
+    monitor.add_argument("feed", help="monthly metrics JSONL file, or a "
+                                      "campaign store directory")
     _add_threshold_arguments(monitor)
     monitor.set_defaults(handler=_cmd_monitor)
 

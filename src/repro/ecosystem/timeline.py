@@ -14,7 +14,7 @@ The paper's measurement has two cadences:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.clock import Instant, WEEK, monthly_instants
@@ -41,6 +41,29 @@ SERIES_END = Instant.from_date(2024, 9, 29)
 @dataclass
 class TimelineConfig:
     population: PopulationConfig = field(default_factory=PopulationConfig)
+
+
+def population_to_dict(config: PopulationConfig) -> dict:
+    """The JSON-serialisable form of a population config.
+
+    Checkpointed campaign state records this so a resumed (or offline)
+    run can prove it is continuing the *same* campaign and rebuild an
+    identical timeline without the caller re-supplying scale/seed.
+    """
+    return asdict(config)
+
+
+def population_from_dict(data: Optional[dict]) -> PopulationConfig:
+    """Inverse of :func:`population_to_dict`; unknown keys are ignored
+    so configs persisted by newer writers still load."""
+    known = {f.name for f in fields(PopulationConfig)}
+    return PopulationConfig(**{key: value for key, value in
+                               (data or {}).items() if key in known})
+
+
+def timeline_from_population(data: Optional[dict]) -> "EcosystemTimeline":
+    """An :class:`EcosystemTimeline` rebuilt from persisted state."""
+    return EcosystemTimeline(TimelineConfig(population_from_dict(data)))
 
 
 @dataclass

@@ -58,6 +58,22 @@ class HostUnreachable(NetworkError):
 
 
 # ---------------------------------------------------------------------------
+# Persistence layer
+# ---------------------------------------------------------------------------
+
+class StoreCorruption(ReproError):
+    """A persisted campaign store failed integrity verification.
+
+    Raised by :mod:`repro.measurement.store_io` when a shard's content
+    digest does not match the manifest, a shard is truncated or
+    unparsable, a recorded shard is missing, or the manifest itself is
+    damaged or written by an unsupported schema version.  The message
+    always names the offending artifact — resume never proceeds from a
+    silent partial load.
+    """
+
+
+# ---------------------------------------------------------------------------
 # DNS layer
 # ---------------------------------------------------------------------------
 

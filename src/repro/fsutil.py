@@ -1,11 +1,25 @@
-"""Filesystem helpers shared by the trace and observability writers."""
+"""Filesystem helpers shared by the trace, observability, and campaign
+persistence writers."""
 
 from __future__ import annotations
 
 import os
 import tempfile
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "ensure_dir", "read_text"]
+
+
+def ensure_dir(path: str) -> str:
+    """Create *path* (and parents) if needed; returns the absolute path."""
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def read_text(path: str) -> str:
+    """Read a UTF-8 text file in one call."""
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
 
 
 def atomic_write_text(path: str, text: str) -> None:

@@ -83,6 +83,9 @@ class ScanStats:
     faults_injected: int = 0
     retry_backoff_seconds: float = 0.0
     transient_domains: int = 0
+    # checkpoint / persistence layer (campaigns run with a state dir)
+    checkpoints_written: int = 0
+    checkpoint_seconds: float = 0.0
 
     _COUNTERS = ("months", "domains_scanned", "world_build_seconds",
                  "scan_seconds", "dns_queries", "dns_cache_hits",
@@ -90,7 +93,8 @@ class ScanStats:
                  "smtp_probes", "smtp_probe_cache_hits",
                  "pkix_validations", "pkix_cache_hits",
                  "connect_retries", "faults_injected",
-                 "retry_backoff_seconds", "transient_domains")
+                 "retry_backoff_seconds", "transient_domains",
+                 "checkpoints_written", "checkpoint_seconds")
 
     def merge(self, other: "ScanStats") -> None:
         for name in self._COUNTERS:
@@ -131,6 +135,19 @@ class ScanStats:
     def as_dict(self) -> Dict[str, int | float | str]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int | float | str]) -> "ScanStats":
+        """Rebuild a stats block from :meth:`as_dict` output.
+
+        Unknown keys are ignored (a newer writer may have recorded more
+        counters than this reader knows), missing keys keep their
+        defaults — checkpointed campaign state stays loadable across
+        counter additions.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})
+
     @staticmethod
     def _hit_line(label: str, work: int, hits: int) -> str:
         total = work + hits
@@ -161,6 +178,11 @@ class ScanStats:
             f"  {'world build':<22} {self.world_build_seconds:>10.2f}s",
             f"  {'scan':<22} {self.scan_seconds:>10.2f}s",
         ]
+        if self.checkpoints_written:
+            lines.append(f"  {'checkpoints written':<22} "
+                         f"{self.checkpoints_written:>9,}")
+            lines.append(f"  {'checkpoint commit':<22} "
+                         f"{self.checkpoint_seconds:>10.2f}s")
         return "\n".join(lines)
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.matching import policy_covers_mx
-from repro.dns.name import DnsName, effective_sld, levenshtein
+from repro.dns.name import DnsName, canonical_host, effective_sld, levenshtein
 from repro.errors import MismatchClass
 from repro.measurement.snapshots import DomainSnapshot
 
@@ -53,8 +53,15 @@ def _tld(hostname: str) -> str:
 def classify_mismatch(mx_patterns: Sequence[str],
                       mx_hostnames: Sequence[str]) -> MismatchVerdict:
     """Classify the relationship between patterns and actual MX hosts."""
-    patterns = [p.lower().rstrip(".") for p in mx_patterns if p]
-    hosts = [h.lower().rstrip(".") for h in mx_hostnames if h]
+    # canonical_host (not .lower()) so the classes below agree with
+    # policy_covers_mx about which spellings are the same host: lower()
+    # keeps U+1E9E ẞ/ß intact while casefold maps both to "ss", the way
+    # every other host comparison in the pipeline folds them.
+    # A wildcard's "*." prefix passes through canonicalisation intact.
+    patterns = [canonical for canonical in
+                (canonical_host(p) for p in mx_patterns if p) if canonical]
+    hosts = [canonical for canonical in
+             (canonical_host(h) for h in mx_hostnames if h) if canonical]
     if not patterns or not hosts:
         return MismatchVerdict(False)
     if any(policy_covers_mx(patterns, h) for h in hosts):

@@ -12,7 +12,7 @@ analyses (Figures 4-10) need.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.clock import Instant
@@ -31,6 +31,12 @@ class MxObservation:
     cert_valid: bool = False
     failure_class: str = ""       # valid | cn-mismatch | self-signed | ...
     transient: bool = False       # probe died on a retry-exhausted fault
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MxObservation":
+        """Exact inverse of ``asdict``: unknown keys raise ``TypeError``
+        so a schema drift surfaces instead of silently dropping data."""
+        return cls(**data)
 
 
 @dataclass
@@ -126,56 +132,114 @@ class DomainSnapshot:
 
         ``Instant`` collapses to its epoch seconds, so the output is
         JSON-serialisable and two snapshots are equal exactly when the
-        scanner recorded the same observations.
+        scanner recorded the same observations.  Built by hand rather
+        than ``dataclasses.asdict`` — the recursive deep-copy there
+        dominates shard-commit and ``canonical_bytes`` cost; list
+        fields are still copied so callers can mutate the result.
         """
-        data = asdict(self)
+        data = dict(self.__dict__)
         data["instant"] = self.instant.epoch_seconds
+        for key in ("txt_strings", "ns_hostnames", "apex_addresses",
+                    "mx_hostnames", "policy_host_addresses",
+                    "policy_syntax_errors", "policy_warnings",
+                    "mx_patterns"):
+            data[key] = list(data[key])
+        data["mx_observations"] = [
+            {**obs.__dict__, "addresses": list(obs.addresses)}
+            for obs in self.mx_observations]
         return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DomainSnapshot":
+        """Exact inverse of :meth:`to_dict`.
+
+        ``instant`` rehydrates from its epoch seconds and every MX
+        observation from its own dict; every other field is taken
+        verbatim, so ``from_dict(s.to_dict()) == s`` for any snapshot
+        the scanner can produce.  Unknown or missing keys raise
+        ``TypeError`` — persistence callers turn that into an explicit
+        corruption error rather than loading a partial snapshot.
+        """
+        data = dict(data)
+        data["instant"] = Instant(int(data["instant"]))
+        data["mx_observations"] = [
+            MxObservation.from_dict(obs) for obs in data["mx_observations"]]
+        return cls(**data)
 
 
 class SnapshotStore:
-    """All snapshots of one measurement campaign."""
+    """All snapshots of one measurement campaign.
+
+    Snapshots are indexed by month *and* by domain as they arrive, so
+    :meth:`month` and :meth:`domain_history` — called per month by
+    every figure series — cost O(that month / that domain's history),
+    not O(whole store).
+    """
 
     def __init__(self):
-        self._by_key: Dict[Tuple[int, str], DomainSnapshot] = {}
-        self._months: set[int] = set()
+        #: month_index -> {domain -> snapshot}
+        self._by_month: Dict[int, Dict[str, DomainSnapshot]] = {}
+        #: domain -> {month_index -> snapshot}
+        self._by_domain: Dict[str, Dict[int, DomainSnapshot]] = {}
+        self._count = 0
 
     def add(self, snapshot: DomainSnapshot) -> None:
-        self._by_key[(snapshot.month_index, snapshot.domain)] = snapshot
-        self._months.add(snapshot.month_index)
+        month = self._by_month.setdefault(snapshot.month_index, {})
+        if snapshot.domain not in month:
+            self._count += 1
+        month[snapshot.domain] = snapshot
+        self._by_domain.setdefault(
+            snapshot.domain, {})[snapshot.month_index] = snapshot
 
     def merge(self, other: "SnapshotStore") -> None:
         """Fold *other*'s snapshots in, in canonical (month, domain)
         order.  The scan executor merges per-shard stores through this,
-        so a parallel scan assembles the same store a serial one does.
+        and the resume path re-merges checkpointed months, so key
+        collisions are never legitimate unless the snapshots are equal
+        (an idempotent re-merge): a colliding key whose incoming
+        snapshot *differs* raises ``ValueError`` naming the key instead
+        of silently overwriting either side.
         """
-        for key in sorted(other._by_key):
-            self.add(other._by_key[key])
+        for month_index in other.months():
+            for snapshot in other.month(month_index):
+                existing = self.get(month_index, snapshot.domain)
+                if existing is None:
+                    self.add(snapshot)
+                elif existing != snapshot:
+                    raise ValueError(
+                        f"snapshot merge collision at (month={month_index}, "
+                        f"domain={snapshot.domain!r}): incoming snapshot "
+                        f"differs from the stored one")
 
     def months(self) -> List[int]:
-        return sorted(self._months)
+        return sorted(self._by_month)
 
     def month(self, month_index: int) -> List[DomainSnapshot]:
-        return [snap for (m, _), snap in sorted(self._by_key.items())
-                if m == month_index]
+        by_domain = self._by_month.get(month_index, {})
+        return [by_domain[domain] for domain in sorted(by_domain)]
 
     def get(self, month_index: int, domain: str) -> Optional[DomainSnapshot]:
-        return self._by_key.get((month_index, domain))
+        return self._by_month.get(month_index, {}).get(domain)
 
     def domain_history(self, domain: str) -> List[DomainSnapshot]:
-        return [snap for (m, d), snap in sorted(self._by_key.items())
-                if d == domain]
+        by_month = self._by_domain.get(domain, {})
+        return [by_month[month] for month in sorted(by_month)]
 
     def latest_month(self) -> int:
-        if not self._months:
+        if not self._by_month:
             raise ValueError("store is empty")
-        return max(self._months)
+        return max(self._by_month)
 
     def latest(self) -> List[DomainSnapshot]:
         return self.month(self.latest_month())
 
     def __len__(self) -> int:
-        return len(self._by_key)
+        return self._count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SnapshotStore):
+            return NotImplemented
+        return self._by_month == other._by_month
 
     def canonical_bytes(self) -> bytes:
         """A deterministic byte serialisation of the whole store.
@@ -183,8 +247,24 @@ class SnapshotStore:
         Snapshots are emitted in sorted (month, domain) order with
         sorted JSON keys, so two stores serialise identically iff they
         hold the same observations — the determinism tests compare
-        serial and threaded scan outputs byte-for-byte through this.
+        serial and threaded scan outputs byte-for-byte through this,
+        and the resume differentials compare interrupted-and-resumed
+        campaigns against uninterrupted ones.
         """
-        rows = [self._by_key[key].to_dict() for key in sorted(self._by_key)]
+        rows = [snapshot.to_dict() for snapshot in self.iter_snapshots()]
         return json.dumps(rows, sort_keys=True,
                           separators=(",", ":")).encode("utf-8")
+
+    def iter_snapshots(self) -> Iterable[DomainSnapshot]:
+        """Every snapshot in canonical (month, domain) order."""
+        for month_index in self.months():
+            yield from self.month(month_index)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[dict]) -> "SnapshotStore":
+        """Rebuild a store from plain-data rows — the exact inverse of
+        ``json.loads(store.canonical_bytes())``."""
+        store = cls()
+        for row in rows:
+            store.add(DomainSnapshot.from_dict(row))
+        return store

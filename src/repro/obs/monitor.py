@@ -271,6 +271,31 @@ class CampaignMonitor:
                 MonthRecord(month_index, date, registry))
         return monitor
 
+    @classmethod
+    def from_state(cls, state_dir: str,
+                   thresholds: Optional[Thresholds] = None,
+                   ) -> "CampaignMonitor":
+        """Re-evaluate campaign health from a checkpointed state dir.
+
+        Each committed month's registry is rebuilt from the manifest's
+        persisted :class:`ScanStats` counters, the snapshot shards'
+        taxonomy census, and the recorded world-build churn — exactly
+        the inputs :meth:`observe_month` saw live, so the monthly feed
+        (and therefore drift and health) is byte-identical to the
+        feed the original campaign would have written.
+        """
+        from repro.measurement.executor import ScanStats
+        from repro.measurement.store_io import load_state
+
+        state = load_state(state_dir)
+        monitor = cls(thresholds)
+        for entry in state.months:
+            monitor.observe_month(
+                entry.month, entry.date, ScanStats.from_dict(entry.stats),
+                state.store.month(entry.month),
+                build_stats=entry.build_stats)
+        return monitor
+
     # -- evaluation ---------------------------------------------------
 
     def drift(self) -> List[Dict[str, float]]:

@@ -57,6 +57,52 @@ class TestClassifyMismatch:
         assert verdict.mismatch_class is MismatchClass.TYPO
 
 
+class TestClassifyMismatchCanonicalisation:
+    """classify_mismatch must fold hostnames exactly like every other
+    host comparison in the pipeline (canonical_host / casefold), not
+    ``str.lower``, which leaves U+1E9E ẞ and ß distinct from "ss"."""
+
+    def test_casefold_covered_pattern_is_not_a_mismatch(self):
+        # ẞ.casefold() == "ss": the pattern covers the MX once folded.
+        verdict = classify_mismatch(["mail.STRAẞE.example"],
+                                    ["mail.strasse.example"])
+        assert not verdict.mismatch
+
+    def test_sharp_s_esld_agrees_with_casefold(self):
+        # Regression: lower() keeps ß, so the eSLDs "straße.example"
+        # and "strasse.example" looked unrelated and this fell through
+        # to DOMAIN instead of the 3LD+ class.
+        verdict = classify_mismatch(["mta-sts.straẞe.example"],
+                                    ["mail.strasse.example"])
+        assert verdict.mismatch_class is MismatchClass.THREE_LD
+
+    def test_sharp_s_typo_distance_uses_canonical_text(self):
+        # "straẞe" folds to "strasse", one edit from "strasze"; under
+        # lower() the ß survives and the distance inflates.
+        verdict = classify_mismatch(["straẞe.example"],
+                                    ["strasze.example"])
+        assert verdict.mismatch_class is MismatchClass.TYPO
+        assert "1 edits" in verdict.evidence
+
+    def test_dotted_capital_i_parity_with_policy_matching(self):
+        # İ and its folded spelling i+U+0307 are the same host both
+        # here and in policy_covers_mx.
+        verdict = classify_mismatch(["İmx.example.com"],
+                                    ["i̇mx.example.com"])
+        assert not verdict.mismatch
+
+    def test_whitespace_and_root_dot_are_canonicalised(self):
+        verdict = classify_mismatch(["mta-sts.example.com."],
+                                    ["  mail.example.com.  "])
+        assert verdict.mismatch_class is MismatchClass.THREE_LD
+
+    def test_uncanonicalisable_names_are_ignored(self):
+        # "a..b" has an empty label; canonical_host maps it to "" and
+        # classification sees no usable hosts at all.
+        assert not classify_mismatch(["mx.example.com"], ["a..b"]).mismatch
+        assert not classify_mismatch(["a..b"], ["mx.example.com"]).mismatch
+
+
 class TestCategorizeSnapshots:
     def scan(self, world, domain="example.com"):
         return Scanner(world).scan_domain(domain, 0)

@@ -1,0 +1,306 @@
+"""The durable campaign store: round-trips, indexes, corruption.
+
+Covers the persistence layer three ways:
+
+* **round-trip** — ``SnapshotStore.from_rows(json.loads(
+  store.canonical_bytes())) == store`` for hypothesis-generated stores
+  (non-ASCII hostnames, transient flags, policy warnings, empty
+  months), and save/load through the on-disk shards is exact;
+* **integrity** — a flipped byte, a truncated shard, a missing shard,
+  a damaged manifest, or a foreign schema version all raise
+  :class:`StoreCorruption` naming the offending artifact;
+* **indexes & merge** — ``month()``/``domain_history()`` reflect the
+  per-month/per-domain indexes, and ``merge()`` rejects differing
+  collisions while staying idempotent for equal re-merges.
+"""
+
+import json
+import os
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import Instant
+from repro.errors import StoreCorruption
+from repro.measurement.snapshots import (
+    DomainSnapshot, MxObservation, SnapshotStore,
+)
+from repro.measurement.store_io import (
+    MANIFEST_NAME, commit_month, load_state, load_store, read_manifest,
+    save_store, shard_digest, shard_name,
+)
+
+# -- snapshot generation ----------------------------------------------------
+
+# Deliberately includes ß/ẞ/İ so hostnames with non-trivial case
+# mappings travel through JSON and back.
+_label = st.text(alphabet=string.ascii_lowercase + "ßẞİü-",
+                 min_size=1, max_size=8)
+_hostname = st.builds(lambda ls: ".".join(ls + ["example"]),
+                      st.lists(_label, min_size=1, max_size=3))
+
+
+@st.composite
+def snapshots(draw, month=None):
+    domain = draw(_hostname)
+    month_index = (draw(st.integers(min_value=0, max_value=5))
+                   if month is None else month)
+    observations = draw(st.lists(st.builds(
+        MxObservation,
+        hostname=_hostname,
+        addresses=st.lists(st.sampled_from(["192.0.2.1", "198.51.100.9"]),
+                           max_size=2),
+        reachable=st.booleans(), starttls=st.booleans(),
+        tls_established=st.booleans(), cert_valid=st.booleans(),
+        failure_class=st.sampled_from(["", "valid", "cn-mismatch"]),
+        transient=st.booleans()), max_size=3))
+    return DomainSnapshot(
+        domain=domain, tld="example", month_index=month_index,
+        instant=Instant(draw(st.integers(min_value=0, max_value=2**31))),
+        txt_strings=draw(st.lists(st.text(max_size=20), max_size=2)),
+        sts_like=draw(st.booleans()),
+        record_valid=draw(st.booleans()),
+        dns_transient=draw(st.booleans()),
+        policy_transient=draw(st.booleans()),
+        policy_warnings=draw(st.lists(
+            st.sampled_from(["max-age-over-rfc-bound", "sts-uses-cname"]),
+            max_size=2)),
+        policy_mode=draw(st.sampled_from(["", "testing", "enforce"])),
+        policy_max_age=draw(st.one_of(st.none(),
+                                      st.integers(0, 31_557_600))),
+        mx_patterns=draw(st.lists(_hostname, max_size=3)),
+        mx_hostnames=[obs.hostname for obs in observations],
+        mx_observations=observations)
+
+
+stores = st.builds(
+    lambda snaps: SnapshotStore.from_rows(s.to_dict() for s in snaps),
+    st.lists(snapshots(), max_size=12))
+
+
+# -- round-trips ------------------------------------------------------------
+
+class TestRoundTrip:
+    @given(snapshots())
+    @settings(max_examples=100)
+    def test_snapshot_from_dict_inverts_to_dict(self, snap):
+        rebuilt = DomainSnapshot.from_dict(snap.to_dict())
+        assert rebuilt == snap
+        assert rebuilt.instant == snap.instant
+        assert rebuilt.to_dict() == snap.to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = DomainSnapshot(domain="d.example", tld="example",
+                              month_index=0, instant=Instant(0)).to_dict()
+        data["surprise"] = 1
+        with pytest.raises(TypeError):
+            DomainSnapshot.from_dict(data)
+        obs = MxObservation(hostname="mx.example").__dict__ | {"extra": 1}
+        with pytest.raises(TypeError):
+            MxObservation.from_dict(obs)
+
+    @given(stores)
+    @settings(max_examples=75, deadline=None)
+    def test_canonical_bytes_round_trip(self, store):
+        rows = json.loads(store.canonical_bytes())
+        rebuilt = SnapshotStore.from_rows(rows)
+        assert rebuilt == store
+        assert rebuilt.canonical_bytes() == store.canonical_bytes()
+
+    def test_empty_store_round_trips(self):
+        store = SnapshotStore()
+        assert SnapshotStore.from_rows(
+            json.loads(store.canonical_bytes())) == store
+
+    @given(stores)
+    @settings(max_examples=25, deadline=None)
+    def test_disk_round_trip_is_exact(self, tmp_path_factory, store):
+        state_dir = str(tmp_path_factory.mktemp("store"))
+        save_store(store, state_dir)
+        loaded = load_store(state_dir)
+        assert loaded == store
+        assert loaded.canonical_bytes() == store.canonical_bytes()
+
+    def test_shards_concatenate_to_canonical_bytes(self, tmp_path):
+        store = SnapshotStore()
+        for month in (0, 1):
+            for name in ("a.example", "straße.example"):
+                store.add(DomainSnapshot(domain=name, tld="example",
+                                         month_index=month,
+                                         instant=Instant(month * 100)))
+        save_store(store, str(tmp_path))
+        rows = []
+        for month in store.months():
+            with open(tmp_path / shard_name(month), encoding="utf-8") as fh:
+                rows.extend(json.loads(line) for line in fh)
+        assert rows == json.loads(store.canonical_bytes())
+
+
+# -- commit / manifest ------------------------------------------------------
+
+def _store_with(*months):
+    store = SnapshotStore()
+    for month in months:
+        store.add(DomainSnapshot(domain="d.example", tld="example",
+                                 month_index=month,
+                                 instant=Instant(month * 1000)))
+    return store
+
+
+class TestCommit:
+    def test_commit_month_is_incremental(self, tmp_path):
+        store = _store_with(0, 1)
+        commit_month(str(tmp_path), store, 0, stats={"domains_scanned": 1},
+                     population={"scale": 0.01})
+        commit_month(str(tmp_path), store, 1)
+        state = load_state(str(tmp_path))
+        assert state.month_indexes() == [0, 1]
+        assert state.population == {"scale": 0.01}   # inherited by month 1
+        assert state.entry(0).stats == {"domains_scanned": 1}
+        assert state.store == store
+
+    def test_recommit_replaces_entry(self, tmp_path):
+        store = _store_with(0)
+        commit_month(str(tmp_path), store, 0)
+        commit_month(str(tmp_path), store, 0, stats={"x": 2})
+        state = load_state(str(tmp_path))
+        assert [e.month for e in state.months] == [0]
+        assert state.entry(0).stats == {"x": 2}
+
+    def test_months_subset_load(self, tmp_path):
+        save_store(_store_with(0, 1, 2), str(tmp_path))
+        state = load_state(str(tmp_path), months=[0, 2])
+        assert state.month_indexes() == [0, 2]
+        assert state.store.months() == [0, 2]
+
+    def test_read_manifest_absent_is_none(self, tmp_path):
+        assert read_manifest(str(tmp_path)) is None
+
+
+# -- corruption -------------------------------------------------------------
+
+class TestCorruption:
+    def _committed(self, tmp_path):
+        save_store(_store_with(0, 1), str(tmp_path))
+        return str(tmp_path)
+
+    def test_flipped_byte_is_detected(self, tmp_path):
+        state_dir = self._committed(tmp_path)
+        shard = os.path.join(state_dir, shard_name(0))
+        blob = bytearray(open(shard, "rb").read())
+        blob[10] ^= 0xFF
+        open(shard, "wb").write(bytes(blob))
+        with pytest.raises(StoreCorruption, match=r"month-0000\.jsonl"):
+            load_store(state_dir)
+
+    def test_truncated_shard_is_detected(self, tmp_path):
+        state_dir = self._committed(tmp_path)
+        shard = os.path.join(state_dir, shard_name(1))
+        text = open(shard, encoding="utf-8").read()
+        open(shard, "w", encoding="utf-8").write(text[:len(text) // 2])
+        with pytest.raises(StoreCorruption, match=r"month-0001\.jsonl"):
+            load_store(state_dir)
+
+    def test_missing_shard_is_detected(self, tmp_path):
+        state_dir = self._committed(tmp_path)
+        os.remove(os.path.join(state_dir, shard_name(0)))
+        with pytest.raises(StoreCorruption,
+                           match=r"month-0000\.jsonl.*missing"):
+            load_store(state_dir)
+
+    def test_unparsable_row_with_matching_digest(self, tmp_path):
+        # Digest verification passes; the row itself is the problem.
+        state_dir = self._committed(tmp_path)
+        shard = os.path.join(state_dir, shard_name(0))
+        text = '{"domain":"d.example"}\n'
+        open(shard, "w", encoding="utf-8").write(text)
+        manifest = json.loads(
+            open(os.path.join(state_dir, MANIFEST_NAME)).read())
+        manifest["months"][0]["sha256"] = shard_digest(text)
+        manifest["months"][0]["rows"] = 1
+        open(os.path.join(state_dir, MANIFEST_NAME), "w").write(
+            json.dumps(manifest))
+        with pytest.raises(StoreCorruption, match=r"row 1"):
+            load_store(state_dir)
+
+    def test_row_count_mismatch_is_detected(self, tmp_path):
+        state_dir = self._committed(tmp_path)
+        manifest_path = os.path.join(state_dir, MANIFEST_NAME)
+        manifest = json.loads(open(manifest_path).read())
+        shard = os.path.join(state_dir, shard_name(0))
+        text = open(shard, encoding="utf-8").read() * 2
+        open(shard, "w", encoding="utf-8").write(text)
+        manifest["months"][0]["sha256"] = shard_digest(text)
+        open(manifest_path, "w").write(json.dumps(manifest))
+        with pytest.raises(StoreCorruption, match="manifest records 1"):
+            load_store(state_dir)
+
+    def test_damaged_manifest_is_corruption_not_absence(self, tmp_path):
+        state_dir = self._committed(tmp_path)
+        open(os.path.join(state_dir, MANIFEST_NAME), "w").write("{nope")
+        with pytest.raises(StoreCorruption, match="manifest.json"):
+            load_store(state_dir)
+
+    def test_foreign_schema_version_is_refused(self, tmp_path):
+        state_dir = self._committed(tmp_path)
+        manifest_path = os.path.join(state_dir, MANIFEST_NAME)
+        manifest = json.loads(open(manifest_path).read())
+        manifest["schema_version"] = 99
+        open(manifest_path, "w").write(json.dumps(manifest))
+        with pytest.raises(StoreCorruption, match="schema version 99"):
+            load_store(state_dir)
+
+    def test_no_manifest_at_all(self, tmp_path):
+        with pytest.raises(StoreCorruption, match="not a campaign state"):
+            load_store(str(tmp_path))
+
+
+# -- indexes & merge --------------------------------------------------------
+
+class TestStoreIndexes:
+    def test_month_is_sorted_by_domain(self):
+        store = SnapshotStore()
+        for name in ("z.example", "a.example", "m.example"):
+            store.add(DomainSnapshot(domain=name, tld="example",
+                                     month_index=0, instant=Instant(0)))
+        assert [s.domain for s in store.month(0)] == [
+            "a.example", "m.example", "z.example"]
+
+    def test_domain_history_is_sorted_by_month(self):
+        store = _store_with(2, 0, 1)
+        assert [s.month_index for s in store.domain_history("d.example")] \
+            == [0, 1, 2]
+        assert store.domain_history("absent.example") == []
+
+    def test_re_add_same_key_does_not_double_count(self):
+        store = _store_with(0)
+        replacement = DomainSnapshot(domain="d.example", tld="example",
+                                     month_index=0, instant=Instant(7))
+        store.add(replacement)
+        assert len(store) == 1
+        assert store.get(0, "d.example") == replacement
+        assert store.domain_history("d.example") == [replacement]
+
+
+class TestMerge:
+    def test_merge_differing_collision_names_the_key(self):
+        ours, theirs = _store_with(0), SnapshotStore()
+        theirs.add(DomainSnapshot(domain="d.example", tld="example",
+                                  month_index=0, instant=Instant(999)))
+        with pytest.raises(ValueError,
+                           match=r"month=0, domain='d.example'"):
+            ours.merge(theirs)
+
+    def test_equal_re_merge_is_idempotent(self):
+        ours, theirs = _store_with(0, 1), _store_with(0, 1)
+        ours.merge(theirs)
+        assert ours == theirs
+        assert len(ours) == 2
+
+    def test_disjoint_merge_unions(self):
+        ours, theirs = _store_with(0), _store_with(1)
+        ours.merge(theirs)
+        assert ours.months() == [0, 1]
+        assert len(ours) == 2
