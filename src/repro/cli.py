@@ -13,8 +13,11 @@
   [--explain DOMAIN] [--metrics-out FILE] [--profile]
   [--progress] [--save DIR | --load DIR]`` — run the
   synthetic-ecosystem scan for the final snapshot and print the
-  misconfiguration census (with ``--stats``, the per-stage scan
-  statistics — as machine-readable JSON with ``--json``; with
+  misconfiguration census (``--backend`` picks serial, threaded, or
+  process-parallel execution — all byte-identical — and ``--jobs 0``
+  auto-detects one worker per CPU core; with ``--stats``, the
+  per-stage scan statistics — as machine-readable JSON with
+  ``--json``; with
   ``--fault-seed``, deterministic network faults injected into the
   scan; with ``--trace``, one JSONL span tree per scanned domain;
   with ``--explain``, the human-readable span tree for one domain;
@@ -115,10 +118,8 @@ def _cmd_plan_removal(args) -> int:
 
 def _cmd_audit(args) -> int:
     import json
-    import time
 
     from repro.ecosystem.population import PopulationConfig
-    from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
     from repro.errors import StoreCorruption
     from repro.measurement.classify import EntityClassifier
     from repro.measurement.executor import ScanExecutor, ScanStats
@@ -181,32 +182,30 @@ def _cmd_audit(args) -> int:
                  f"{args.metrics_out}")
         info(f"snapshot {entry.date} (loaded from {args.load})")
     else:
-        timeline = EcosystemTimeline(
-            TimelineConfig(PopulationConfig(scale=args.scale,
-                                            seed=args.seed)))
-        month = (args.month if args.month is not None
-                 else len(timeline.scan_instants) - 1)
-        built_at = time.perf_counter()
-        materialized = timeline.materialize(month)
-        build_seconds = time.perf_counter() - built_at
-        if args.fault_seed is not None:
-            # Installed after materialization so only scan traffic is
-            # faulted, never the deployment/ACME exchanges that build the
-            # world.
-            from repro.netsim.network import FaultPlan
-            materialized.world.network.install_fault_plan(
-                FaultPlan.seeded(seed=args.fault_seed, rate=args.fault_rate))
+        # Live: every backend runs through scan_population, which owns
+        # materialisation (shard-scoped under the process backend) and
+        # installs the seeded fault plan after the world is built, so
+        # only scan traffic is faulted — never the deployment/ACME
+        # exchanges.
+        population = PopulationConfig(scale=args.scale, seed=args.seed)
         tracing = bool(args.trace or args.explain)
         progress = None
         if args.progress:
             from repro.obs.progress import ProgressPrinter
             progress = ProgressPrinter()
-        executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
-                                trace=tracing, profile=args.profile,
-                                progress=progress)
-        store, stats = executor.scan(
-            materialized.world, materialized.deployed.keys(), month)
-        stats.world_build_seconds = build_seconds
+        try:
+            executor = ScanExecutor(backend=args.backend,
+                                    jobs=_resolve_jobs(args.jobs,
+                                                       args.backend),
+                                    trace=tracing, profile=args.profile,
+                                    progress=progress)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = executor.scan_population(
+            population, args.month,
+            fault_seed=args.fault_seed, fault_rate=args.fault_rate)
+        store, stats, month = result.store, result.stats, result.month_index
         if args.trace:
             records = executor.last_trace.write_jsonl(args.trace)
             info(f"trace: {records} records -> {args.trace}")
@@ -220,11 +219,10 @@ def _cmd_audit(args) -> int:
             from repro.ecosystem.timeline import population_to_dict
             from repro.measurement.store_io import commit_month
             commit_month(args.save, store, month,
-                         date=materialized.instant.date_string(),
+                         date=result.instant.date_string(),
                          stats=stats.as_dict(),
-                         build_stats=materialized.build_stats,
-                         population=population_to_dict(
-                             timeline.config.population))
+                         build_stats=result.build_stats,
+                         population=population_to_dict(population))
             info(f"store: month {month} committed -> {args.save}")
         if args.metrics_out:
             from repro.obs.exporters import prometheus_exposition
@@ -235,8 +233,12 @@ def _cmd_audit(args) -> int:
                 registry, labels={"month": str(month)}))
             info(f"metrics: {len(registry.counters)} series -> "
                  f"{args.metrics_out}")
-        info(f"snapshot {materialized.instant.date_string()} "
+        info(f"snapshot {result.instant.date_string()} "
              f"(scale={args.scale})")
+        if result.worker_peak_rss_kib:
+            info(f"  worker peak RSS      : "
+                 f"{max(result.worker_peak_rss_kib) / 1024:.1f} MiB "
+                 f"(max of {len(result.worker_peak_rss_kib)} workers)")
     info(f"  MTA-STS domains      : {summary.total_sts}")
     info(f"  misconfigured        : {summary.misconfigured} "
          f"({summary.misconfigured_percent():.1f}%)")
@@ -293,8 +295,13 @@ def _cmd_campaign(args) -> int:
     if args.progress:
         from repro.obs.progress import ProgressPrinter
         progress = ProgressPrinter()
-    executor = ScanExecutor(backend=args.backend, jobs=args.jobs,
-                            progress=progress)
+    try:
+        executor = ScanExecutor(backend=args.backend,
+                                jobs=_resolve_jobs(args.jobs, args.backend),
+                                progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     monitor = CampaignMonitor(_thresholds_from_args(args))
     fault_plan_factory = None
     if args.fault_seed is not None:
@@ -432,6 +439,35 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _job_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer (0 = auto-detect), "
+            f"got {value}")
+    return value
+
+
+def _resolve_jobs(jobs: int, backend: str) -> int:
+    """Resolve ``--jobs 0`` (auto-detect) at the CLI layer.
+
+    Auto means every core for the parallel backends and one worker for
+    serial; :class:`~repro.measurement.executor.ScanExecutor` itself
+    never clamps — an explicit ``--jobs N`` on a backend that cannot
+    honour it is an error, not a silent downgrade.
+    """
+    if jobs:
+        return jobs
+    if backend == "serial":
+        return 1
+    import os
+    return os.cpu_count() or 1
+
+
 def _rate(text: str) -> float:
     try:
         value = float(text)
@@ -485,14 +521,17 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="print repair plans for N misconfigured "
                             "domains")
-    audit.add_argument("--backend", choices=("serial", "threaded"),
+    audit.add_argument("--backend",
+                       choices=("serial", "threaded", "process"),
                        default="serial",
-                       help="scan execution backend (both produce "
-                            "identical snapshots)")
-    audit.add_argument("--jobs", type=_positive_int, default=1,
+                       help="scan execution backend (all produce "
+                            "identical snapshots; 'process' runs "
+                            "shard workers in separate processes, each "
+                            "materialising only its population slice)")
+    audit.add_argument("--jobs", type=_job_count, default=1,
                        metavar="N",
-                       help="worker threads for the threaded backend "
-                            "(a positive integer)")
+                       help="workers for the threaded/process backends "
+                            "(0 = one per CPU core)")
     audit.add_argument("--stats", action="store_true",
                        help="print the per-stage scan statistics table")
     audit.add_argument("--json", action="store_true",
@@ -539,8 +578,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=20240929)
     campaign.add_argument("--backend", choices=("serial", "threaded"),
                           default="serial")
-    campaign.add_argument("--jobs", type=_positive_int, default=1,
-                          metavar="N")
+    campaign.add_argument("--jobs", type=_job_count, default=1,
+                          metavar="N",
+                          help="worker threads for the threaded backend "
+                               "(0 = one per CPU core)")
     campaign.add_argument("--full-rebuild", action="store_true",
                           help="rebuild the world from scratch every "
                                "month instead of diffing")

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.policy import PolicyMode
+from repro.dns.name import canonical_host
 from repro.ecosystem.misconfig import RETRIEVAL_BLOCKING, Fault
 
 # --------------------------------------------------------------------------
@@ -303,6 +304,72 @@ def generate_population(config: PopulationConfig) -> Dict[str, TldPopulation]:
 
     _assign_tlsrpt(populations, config, rng)
     return populations
+
+
+# --------------------------------------------------------------------------
+# Deterministic sharding (the process scan backend's population API)
+# --------------------------------------------------------------------------
+
+def partition_names(names: Iterable[str], shards: int) -> List[List[str]]:
+    """Cut a name set into *shards* contiguous canonical-order slices.
+
+    The single source of truth for how any domain set is split across
+    workers: names are canonicalised, deduplicated, sorted, and cut
+    into contiguous slices whose sizes differ by at most one (earlier
+    slices take the remainder).  Deterministic under input order,
+    case, and trailing dots, so a parent process and its shard workers
+    always agree on who owns which domain.  ``shards`` is clamped to
+    the name count (an empty input yields one empty slice) — callers
+    needing exactly N slices pad with empties.
+    """
+    ordered = sorted({canonical_host(n) for n in names} - {""})
+    shards = max(1, min(shards, len(ordered)) if ordered else 1)
+    base, remainder = divmod(len(ordered), shards)
+    slices: List[List[str]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < remainder else 0)
+        slices.append(ordered[start:start + size])
+        start += size
+    return slices
+
+
+def iter_population(config: PopulationConfig) -> Iterator[DomainPlan]:
+    """Every :class:`DomainPlan`, in deterministic generation order.
+
+    Generation itself cannot stream: one sequential RNG feeds every
+    plan, the event cohorts *mutate earlier plans* (the DMARCReport
+    spike adds faults to already-generated delegated domains), and
+    TLSRPT assignment draws per plan across the whole set.  Laziness
+    therefore means deterministic *slicing* of the finished
+    population, not incremental generation — this iterator is the
+    streaming view, :func:`shard_plans` the shard-range view.
+    """
+    populations = generate_population(config)
+    for population in populations.values():
+        yield from population.plans
+
+
+def shard_plans(config: PopulationConfig, index: int,
+                count: int) -> List[DomainPlan]:
+    """The plans in shard ``index`` of ``count`` canonical-order slices.
+
+    The union of ``shard_plans(config, i, n)`` over ``i in range(n)``
+    is exactly ``generate_population(config)``'s plan set, for any
+    shard count — the property the process scan backend's workers rely
+    on to jointly cover the population without coordination.  Slices
+    past the population size are empty.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} outside [0, {count})")
+    plans = {canonical_host(plan.name): plan
+             for plan in iter_population(config)}
+    slices = partition_names(plans.keys(), count)
+    if index >= len(slices):
+        return []
+    return [plans[name] for name in slices[index]]
 
 
 def _scaled_provider_quota(config: PopulationConfig) -> Dict[str, int]:

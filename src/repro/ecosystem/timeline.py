@@ -25,6 +25,7 @@ from repro.ecosystem.deployment import (
 from repro.ecosystem.misconfig import Fault, apply_fault
 from repro.ecosystem.population import (
     DomainPlan, PopulationConfig, TldPopulation, generate_population,
+    partition_names,
 )
 from repro.ecosystem.providers import (
     EmailProvider, OptOutBehavior, PolicyHostProvider,
@@ -177,13 +178,31 @@ class EcosystemTimeline:
 
     # -- materialisation -------------------------------------------------------
 
-    def materialize(self, month_index: int) -> MaterializedSnapshot:
+    def materialize(self, month_index: int,
+                    shard: Optional[Tuple[int, int]] = None
+                    ) -> MaterializedSnapshot:
         """Build the live world for scan month *month_index* from
         scratch (the reference, slow path; see
-        :class:`IncrementalMaterializer` for the delta-applying one)."""
-        return self._snapshot(self._build_full(month_index))
+        :class:`IncrementalMaterializer` for the delta-applying one).
 
-    def _build_full(self, month_index: int) -> "_WorldState":
+        With ``shard=(index, count)`` the snapshot keeps only shard
+        ``index`` of ``count`` canonical-order slices of the adopted
+        domains (see :func:`~repro.ecosystem.population.partition_names`)
+        — the process scan backend's per-worker view.  Determinism
+        demands that *every* adopted plan still be deployed and faulted
+        in the full canonical sequence (IP-pool allocation order, cert
+        issuance order, and the resolver-cache warmth left by ACME
+        validation are all byte-identical to a serial build by
+        construction); out-of-shard domains are then immediately
+        undeployed, releasing their zones, listeners, and policies so
+        the worker's retained world scales with the shard, not the
+        population.  The replicated build CPU is the price of exactness
+        — the Amdahl ceiling the bench records.
+        """
+        return self._snapshot(self._build_full(month_index, shard=shard))
+
+    def _build_full(self, month_index: int,
+                    shard: Optional[Tuple[int, int]] = None) -> "_WorldState":
         instant = self.scan_instants[month_index]
         week = self.week_of(instant)
         world = World(start=instant)
@@ -197,11 +216,31 @@ class EcosystemTimeline:
         # domain migrates between hosting providers (OUTDATED_POLICY).
         world.email_providers = state.email_providers
 
-        for plan in self.all_plans():
-            if plan.adopted_by_week(week):
-                self._deploy_plan(state, plan, week, month_index)
+        adopted = [plan for plan in self.all_plans()
+                   if plan.adopted_by_week(week)]
+        keep = None
+        if shard is not None:
+            index, count = shard
+            if count < 1:
+                raise ValueError("shard count must be >= 1")
+            if not 0 <= index < count:
+                raise ValueError(f"shard index {index} outside [0, {count})")
+            slices = partition_names([plan.name for plan in adopted], count)
+            keep = set(slices[index]) if index < len(slices) else set()
+
+        for plan in adopted:
+            self._deploy_plan(state, plan, week, month_index)
+            if keep is not None and plan.name not in keep:
+                deployed = state.deployed.pop(plan.name)
+                state.plans.pop(plan.name)
+                state.signatures.pop(plan.name)
+                undeploy_domain(world, deployed)
+        # ``deployed_new`` reports the deploys *performed*, which under
+        # a shard build is still the full adopted count — every worker
+        # therefore reports the same build churn a serial build would,
+        # keeping committed build_stats backend-independent.
         state.last_build_stats = {
-            "deployed_new": len(state.deployed), "redeployed": 0,
+            "deployed_new": len(adopted), "redeployed": 0,
             "certs_renewed": 0, "full_rebuild": 1,
         }
         return state

@@ -257,7 +257,13 @@ class Network:
         self.fault_plan: Optional[FaultPlan] = None
         self.connect_count = 0
         self.retried_connects = 0
-        self.backoff_seconds = 0.0
+        #: Virtual backoff is accumulated in integer microseconds so
+        #: that cross-process stat merging (the process scan backend
+        #: sums and corrects per-worker deltas) is exact integer
+        #: arithmetic — float summation order would otherwise leak into
+        #: the merged totals.  It also matches the unit the trace
+        #: registry counts (``net.backoff_micros``) exactly.
+        self.backoff_micros = 0
         self._counter_lock = threading.Lock()
 
     # -- server side --------------------------------------------------
@@ -300,13 +306,18 @@ class Network:
     def faults_injected(self) -> int:
         return self.fault_plan.injections if self.fault_plan else 0
 
+    @property
+    def backoff_seconds(self) -> float:
+        """Accumulated virtual backoff, in seconds (float view)."""
+        return self.backoff_micros / 1_000_000
+
     def record_backoff(self, seconds: float) -> None:
         """Charge virtual retry-backoff time (ScanStats accounting)."""
+        delay_micros = trace.micros(seconds)
         with self._counter_lock:
-            self.backoff_seconds += seconds
+            self.backoff_micros += delay_micros
         tracer = trace.current_tracer() if trace.TRACING else None
         if tracer is not None:
-            delay_micros = trace.micros(seconds)
             tracer.metrics.count("net.backoff_micros", delay_micros)
             tracer.metrics.observe("retry.backoff", delay_micros)
 

@@ -12,8 +12,9 @@ and threaded scan backends compute identical schedules regardless of
 thread interleaving, and tests can pin exact sequences.
 
 Backoff never sleeps: delays are charged against the operation's
-virtual budget and accumulated on the :class:`~repro.netsim.network.
-Network` counters (``backoff_seconds``) for ``ScanStats``.
+virtual budget and accumulated as integer microseconds on
+:class:`~repro.netsim.network.Network` (``backoff_micros``;
+``backoff_seconds`` is the derived float view) for ``ScanStats``.
 """
 
 from __future__ import annotations

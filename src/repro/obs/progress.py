@@ -106,6 +106,24 @@ class ProgressTracker:
             if self._domains_done % self._heartbeat_every == 0:
                 self._emit()
 
+    def advance(self, count: int) -> None:
+        """Credit *count* completed domains in one step.
+
+        The process scan backend ships progress across the process
+        boundary as batched increments (a queue message per domain
+        would dominate the heartbeat's cost), so the tracker must
+        accept jumps: one event is emitted whenever a batch crosses a
+        heartbeat boundary, preserving the ~heartbeat_every cadence.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            before = self._domains_done
+            self._domains_done += count
+            if (before // self._heartbeat_every
+                    != self._domains_done // self._heartbeat_every):
+                self._emit()
+
     def shard_done(self) -> None:
         with self._lock:
             self._shards_done += 1

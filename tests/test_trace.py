@@ -251,7 +251,6 @@ class TestCliTrace:
 
 class TestCliValidation:
     @pytest.mark.parametrize("argv", [
-        ["audit", "--jobs", "0"],
         ["audit", "--jobs", "-4"],
         ["audit", "--jobs", "two"],
         ["audit", "--fault-rate", "1.5"],
@@ -275,3 +274,15 @@ class TestCliValidation:
         assert args.fault_rate == 0.0
         args = parser.parse_args(["audit", "--fault-rate", "1.0"])
         assert args.fault_rate == 1.0
+
+    def test_jobs_zero_means_auto_detect(self):
+        import os
+
+        from repro.cli import _resolve_jobs, build_parser
+        parser = build_parser()
+        args = parser.parse_args(["audit", "--jobs", "0"])
+        assert args.jobs == 0
+        assert _resolve_jobs(0, "serial") == 1
+        assert _resolve_jobs(0, "threaded") == (os.cpu_count() or 1)
+        assert _resolve_jobs(0, "process") == (os.cpu_count() or 1)
+        assert _resolve_jobs(3, "process") == 3
