@@ -28,6 +28,16 @@ on a single-core machine the process backend *costs* (each worker
 rebuilds its shard's world), and the curve only bends upward once real
 cores are available.
 
+A sixth section exercises the **delivery engine** (the campaign-scale
+queued-delivery executor) at its own raised scale: a clean and a
+fault-seeded campaign, each run serial and threaded, with the serial
+run as the byte-identity reference — the run aborts if any threaded
+ledger, metrics feed, or health report diverges.  The section records
+per-variant wall-clock, messages/s, waves, and peak queue depth, and
+``--check`` enforces both the wall-clock regression gate and an
+absolute serial-clean throughput floor
+(``DELIVERY_THROUGHPUT_FLOOR_MPS``).
+
 The run also exercises the observability layer: the incremental-serial
 campaign runs with a :class:`~repro.obs.monitor.CampaignMonitor`
 attached (its monthly metrics JSONL and the final month's Prometheus
@@ -52,6 +62,8 @@ Usage::
         [--scale 0.02] [--seed 20240929] [--jobs 4] [--out BENCH_scan.json] \
         [--check BASELINE.json] [--max-regression 0.25] \
         [--process-scale 0.1] [--process-jobs 1,2,4] [--skip-process] \
+        [--delivery-scale 0.1] [--delivery-senders 2394] \
+        [--delivery-messages 42] [--skip-delivery] \
         [--metrics-out FILE.jsonl] [--prom-out FILE.prom]
 """
 
@@ -65,6 +77,9 @@ import time
 
 from repro.analysis.series import run_campaign
 from repro.ecosystem.population import PopulationConfig
+from repro.measurement.delivery_campaign import (
+    DeliveryCampaignConfig, run_delivery_campaign,
+)
 from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
 from repro.measurement.executor import ScanExecutor
 from repro.obs.exporters import prometheus_exposition, write_lines_atomic
@@ -87,6 +102,14 @@ MEASURED_FIGURE4_SECONDS = 10.7
 #: are enforced by ``--check``.
 RETRY_OVERHEAD_BAR_PERCENT = 10.0
 CHECKPOINT_OVERHEAD_BAR_PERCENT = 10.0
+
+#: Absolute throughput floor for the delivery engine's serial clean
+#: run at the default delivery operating point (scale 0.1, the full
+#: §6.2 sender census, ~100k messages).  The reference machine
+#: sustains well above this; the floor is set at roughly half the
+#: measured rate so CI machines pass while a real throughput
+#: regression (e.g. an accidental per-message world rebuild) fails.
+DELIVERY_THROUGHPUT_FLOOR_MPS = 4_000.0
 
 #: The retry/fault-injection layer's no-faults overhead, measured by
 #: bracketing the commit that landed it: the campaign workload on
@@ -209,9 +232,84 @@ def _process_backend_section(scale: float, seed: int,
     }
 
 
+def _delivery_engine_section(scale: float, senders: int, messages: int,
+                             jobs: int) -> dict:
+    """Clean and fault-seeded delivery campaigns, each serial and
+    threaded, with the serial ledger/metrics/health as the
+    byte-identity reference.  Aborts (``RuntimeError``) on any
+    divergence."""
+    print(f"delivery engine (scale {scale}, {senders} senders x "
+          f"{messages} messages) ...", flush=True)
+    results = {}
+    for label, fault_seed in (("clean", None), ("faulted", 4242)):
+        config = DeliveryCampaignConfig(
+            scale=scale, seed=11, month_index=3, senders=senders,
+            messages_per_sender=messages, backpressure=20_000,
+            fault_seed=fault_seed, fault_rate=0.2)
+        reference = None
+        for backend in ("serial", "threaded"):
+            started = time.perf_counter()
+            result = run_delivery_campaign(
+                config, backend=backend,
+                jobs=1 if backend == "serial" else jobs)
+            elapsed = time.perf_counter() - started
+            if backend == "serial":
+                reference = result
+            else:
+                if result.ledger_digest != reference.ledger_digest:
+                    raise RuntimeError(
+                        f"delivery engine ({label}, threaded) ledger "
+                        f"diverged from the serial reference: "
+                        f"{result.ledger_digest} != "
+                        f"{reference.ledger_digest}")
+                if (result.monitor.to_jsonl()
+                        != reference.monitor.to_jsonl()
+                        or result.health().render()
+                        != reference.health().render()):
+                    raise RuntimeError(
+                        f"delivery engine ({label}, threaded) metrics "
+                        f"or health diverged from the serial reference")
+            stats = result.stats
+            results[f"{label}-{backend}"] = {
+                "seconds": round(elapsed, 3),
+                "jobs": stats.jobs,
+                "waves": stats.waves,
+                "delivered": stats.delivered,
+                "bounced": stats.bounced,
+                "attempts": stats.attempts,
+                "queue_depth_peak": stats.queue_depth_peak,
+                "world_build_seconds": round(
+                    stats.world_build_seconds, 3),
+                "deliver_seconds": round(stats.deliver_seconds, 3),
+                "messages_per_second": round(
+                    stats.messages_per_second, 1),
+                "ledger_sha256": result.ledger_digest,
+            }
+            print(f"  {label}-{backend:<9s} {elapsed:6.2f}s  "
+                  f"{stats.messages_per_second:8.1f} msg/s  "
+                  f"{stats.waves} waves  peak depth "
+                  f"{stats.queue_depth_peak}", flush=True)
+    config = DeliveryCampaignConfig(
+        scale=scale, senders=senders, messages_per_sender=messages)
+    return {
+        "scale": scale,
+        "seed": 11,
+        "month_index": 3,
+        "senders": senders,
+        "messages_per_sender": messages,
+        "messages": config.total_messages,
+        "backpressure": 20_000,
+        "cpu_count": os.cpu_count() or 1,
+        "ledgers_identical_across_backends": True,
+        "throughput_floor_mps": DELIVERY_THROUGHPUT_FLOOR_MPS,
+        "results": results,
+    }
+
+
 def _wallclock_rows(report: dict) -> dict:
     """Flatten every gated wall-clock in a report to ``name ->
-    seconds`` — campaign configurations plus the process curve."""
+    seconds`` — campaign configurations, the process curve, and the
+    delivery-engine variants."""
     rows = {name: row["seconds"]
             for name, row in report.get("results", {}).items()}
     process = report.get("process_backend") or {}
@@ -219,6 +317,9 @@ def _wallclock_rows(report: dict) -> dict:
         rows["process-scale-serial"] = process["serial"]["seconds"]
     for row in process.get("jobs", []):
         rows[f"process-j{row['jobs']}"] = row["seconds"]
+    delivery = report.get("delivery_engine") or {}
+    for name, row in delivery.get("results", {}).items():
+        rows[f"delivery-{name}"] = row["seconds"]
     return rows
 
 
@@ -299,6 +400,22 @@ def main() -> int:
                              "(default 1,2,4)")
     parser.add_argument("--skip-process", action="store_true",
                         help="skip the process-backend curve section")
+    parser.add_argument("--delivery-scale", type=float, default=0.1,
+                        metavar="SCALE",
+                        help="recipient-world scale for the delivery "
+                             "engine section (default 0.1)")
+    parser.add_argument("--delivery-senders", type=int, default=2394,
+                        metavar="N",
+                        help="sender-domain count for the delivery "
+                             "engine section (default 2394, the full "
+                             "paper census)")
+    parser.add_argument("--delivery-messages", type=int, default=42,
+                        metavar="N",
+                        help="messages per sender for the delivery "
+                             "engine section (default 42 -> ~100k "
+                             "messages at the default sender count)")
+    parser.add_argument("--skip-delivery", action="store_true",
+                        help="skip the delivery-engine section")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write the monitored campaign's monthly "
                              "metrics JSONL feed to FILE")
@@ -389,6 +506,12 @@ def main() -> int:
         process_section = _process_backend_section(
             args.process_scale, args.seed, args.process_jobs)
 
+    delivery_section = None
+    if not args.skip_delivery:
+        delivery_section = _delivery_engine_section(
+            args.delivery_scale, args.delivery_senders,
+            args.delivery_messages, args.jobs)
+
     # The recorded seed baseline was measured at the default scale and
     # seed; at any other operating point the comparison is meaningless.
     comparable = args.scale == 0.02 and args.seed == 20240929
@@ -451,6 +574,7 @@ def main() -> int:
         "campaign_health": health.as_dict(),
         "profile": profile_report,
         "process_backend": process_section,
+        "delivery_engine": delivery_section,
         "results": results,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -461,6 +585,18 @@ def main() -> int:
 
     bar_failures = _overhead_bar_failures(retry_overhead,
                                           checkpoint_overhead)
+    if delivery_section is not None:
+        # The delivery throughput bar is absolute (messages/s of the
+        # serial clean run), not baseline-relative: the engine's whole
+        # point is sustaining campaign-scale volume.
+        mps = delivery_section["results"]["clean-serial"][
+            "messages_per_second"]
+        violated = mps < DELIVERY_THROUGHPUT_FLOOR_MPS
+        print(f"throughput bar [delivery/clean-serial]: {mps:.0f} msg/s "
+              f"(floor {DELIVERY_THROUGHPUT_FLOOR_MPS:.0f}) "
+              f"{'FAIL' if violated else 'ok'}")
+        if violated:
+            bar_failures.append("delivery/clean-serial-throughput")
     if args.check:
         failures = _check_regressions(report, args.check,
                                       args.max_regression)

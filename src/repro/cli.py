@@ -34,6 +34,16 @@
   (exit 1 on any ALERT; with ``--state-dir``, each completed month
   is committed atomically and ``--resume`` continues a killed run
   from the last committed month);
+* ``campaign deliver [--scale S] [--senders N --messages-per-sender M]
+  [--backend serial|threaded --jobs N] [--backpressure N]
+  [--wakeup-seconds S] [--fault-seed N --fault-rate R]
+  [--ledger-out FILE] [--metrics-out FILE] [--progress]
+  [--state-dir DIR [--resume]]`` — run the campaign-scale delivery
+  engine: a §6.2-profiled sender population queues messages against
+  the materialised world under per-delivery MTA-STS enforcement,
+  emitting a canonical delivery ledger, per-wave metrics, and a
+  delivery health report (exit 1 on any ALERT; serial and threaded
+  backends are byte-identical);
 * ``monitor FILE|DIR`` — re-evaluate a saved monthly metrics JSONL
   feed, or a campaign store directory, against (configurable)
   health thresholds (exit 1 on any ALERT);
@@ -337,6 +347,66 @@ def _cmd_campaign(args) -> int:
     return 1 if report.level == ALERT else 0
 
 
+def _cmd_campaign_deliver(args) -> int:
+    from repro.errors import StoreCorruption
+    from repro.fsutil import atomic_write_text
+    from repro.measurement.delivery_campaign import (
+        DeliveryCampaignConfig, run_delivery_campaign,
+    )
+    from repro.obs.monitor import ALERT, DeliveryThresholds
+
+    if args.resume and not args.state_dir:
+        print("error: --resume requires --state-dir", file=sys.stderr)
+        return 2
+    thresholds = DeliveryThresholds()
+    for name in ("bounce_rate_alert", "plaintext_rate_warn",
+                 "refused_rate_warn"):
+        value = getattr(args, name, None)
+        if value is not None:
+            setattr(thresholds, name, value)
+    progress = None
+    if args.progress:
+        from repro.obs.progress import ProgressPrinter
+        progress = ProgressPrinter()
+    try:
+        config = DeliveryCampaignConfig(
+            scale=args.scale, seed=args.seed, month_index=args.month,
+            senders=args.senders,
+            messages_per_sender=args.messages_per_sender,
+            sender_seed=args.sender_seed,
+            backpressure=args.backpressure,
+            wakeup_seconds=args.wakeup_seconds,
+            fault_seed=args.fault_seed, fault_rate=args.fault_rate)
+        result = run_delivery_campaign(
+            config, backend=args.backend, jobs=args.jobs,
+            progress=progress, thresholds=thresholds,
+            state_dir=args.state_dir, resume=args.resume)
+    except (StoreCorruption, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stats = result.stats
+    if args.ledger_out:
+        atomic_write_text(args.ledger_out, result.ledger_text)
+        print(f"ledger: {result.ledger_text.count(chr(10)):,} rows "
+              f"-> {args.ledger_out}")
+    if args.metrics_out:
+        records = result.monitor.write_jsonl(args.metrics_out)
+        print(f"wave metrics: {records} records -> {args.metrics_out}")
+    print(f"delivery: {stats.messages:,} messages from "
+          f"{stats.senders:,} senders in {stats.waves} waves "
+          f"[{stats.backend}] ({stats.deliver_seconds:.2f}s, "
+          f"{stats.messages_per_second:,.0f} msg/s)")
+    print(f"  delivered {stats.delivered:,} "
+          f"({stats.delivered_plaintext:,} plaintext), "
+          f"bounced {stats.bounced:,}, "
+          f"{stats.attempts:,} attempts, "
+          f"peak queue depth {stats.queue_depth_peak:,}")
+    print(f"  ledger sha256 {result.ledger_digest}")
+    report = result.health()
+    print(report.render())
+    return 1 if report.level == ALERT else 0
+
+
 def _cmd_monitor(args) -> int:
     import os
 
@@ -607,6 +677,78 @@ def build_parser() -> argparse.ArgumentParser:
                                "plan afflicts (default 0.2, range [0, 1])")
     _add_threshold_arguments(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
+
+    campaign_sub = campaign.add_subparsers(dest="campaign_command")
+    deliver = campaign_sub.add_parser(
+        "deliver",
+        help="run the campaign-scale delivery engine against the "
+             "materialised world")
+    deliver.add_argument("--scale", type=float, default=0.02,
+                         help="recipient world scale (default 0.02)")
+    deliver.add_argument("--seed", type=int, default=11,
+                         help="recipient population seed")
+    deliver.add_argument("--month", type=int, default=3,
+                         help="scan month to materialise (default 3)")
+    deliver.add_argument("--senders", type=_positive_int, default=120,
+                         metavar="N",
+                         help="sender-domain count (§6.2 population: "
+                              "2394)")
+    deliver.add_argument("--messages-per-sender", type=_positive_int,
+                         default=4, dest="messages_per_sender",
+                         metavar="M",
+                         help="messages queued per sender domain")
+    deliver.add_argument("--sender-seed", type=int, default=20230201,
+                         dest="sender_seed",
+                         help="§6.2 sender-population seed")
+    deliver.add_argument("--backend", choices=("serial", "threaded"),
+                         default="serial",
+                         help="delivery backend (byte-identical ledgers)")
+    deliver.add_argument("--jobs", type=_job_count, default=0,
+                         help="threaded shard count (0 = auto)")
+    deliver.add_argument("--backpressure", type=_positive_int,
+                         default=10_000, metavar="N",
+                         help="global in-flight message bound")
+    deliver.add_argument("--wakeup-seconds", type=_positive_int,
+                         default=900, dest="wakeup_seconds", metavar="S",
+                         help="batched wake-up granularity in virtual "
+                              "seconds (default 900)")
+    deliver.add_argument("--fault-seed", type=int, default=None,
+                         dest="fault_seed",
+                         help="seed a deterministic network fault plan")
+    deliver.add_argument("--fault-rate", type=_rate, default=0.2,
+                         dest="fault_rate",
+                         help="share of listeners the fault plan "
+                              "degrades (default 0.2)")
+    deliver.add_argument("--ledger-out", default=None, metavar="FILE",
+                         dest="ledger_out",
+                         help="write the canonical delivery ledger "
+                              "JSONL to FILE")
+    deliver.add_argument("--metrics-out", default=None, metavar="FILE",
+                         dest="metrics_out",
+                         help="write the per-wave metrics JSONL to FILE")
+    deliver.add_argument("--progress", action="store_true",
+                         help="live delivery heartbeats on stderr")
+    deliver.add_argument("--state-dir", default=None, metavar="DIR",
+                         dest="state_dir",
+                         help="durably commit every wave (ledger "
+                              "shards + manifest + checkpoint) at DIR")
+    deliver.add_argument("--resume", action="store_true",
+                         help="resume a committed campaign from its "
+                              "checkpoint (requires --state-dir)")
+    deliver.add_argument("--bounce-rate-alert", type=_rate, default=None,
+                         dest="bounce_rate_alert", metavar="R",
+                         help="ALERT when the cumulative bounce share "
+                              "exceeds R")
+    deliver.add_argument("--plaintext-rate-warn", type=_rate,
+                         default=None, dest="plaintext_rate_warn",
+                         metavar="R",
+                         help="WARN when the cumulative plaintext "
+                              "delivery share exceeds R")
+    deliver.add_argument("--refused-rate-warn", type=_rate, default=None,
+                         dest="refused_rate_warn", metavar="R",
+                         help="WARN when the cumulative policy-refusal "
+                              "share of attempts exceeds R")
+    deliver.set_defaults(handler=_cmd_campaign_deliver)
 
     monitor = sub.add_parser(
         "monitor",

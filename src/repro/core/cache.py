@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.clock import Clock, Duration, Instant
-from repro.core.policy import Policy
+from repro.core.policy import Policy, parse_policy, render_policy
 
 
 @dataclass
@@ -35,6 +35,21 @@ class CachedPolicy:
 
     def fresh_at(self, now: Instant) -> bool:
         return now <= self.expires_at()
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form (the policy rides as its RFC 8461
+        wire text, so the round-trip reuses the strict parser)."""
+        return {"domain": self.domain,
+                "policy": render_policy(self.policy),
+                "record_id": self.record_id,
+                "fetched_at": self.fetched_at.epoch_seconds}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CachedPolicy":
+        return cls(domain=str(data["domain"]),
+                   policy=parse_policy(str(data["policy"])),
+                   record_id=str(data["record_id"]),
+                   fetched_at=Instant(int(data["fetched_at"])))
 
 
 class PolicyCache:
@@ -93,3 +108,33 @@ class PolicyCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- persistence (RFC 8461 §10.2 recommends caches survive
+    # restarts: a sender that forgets its cache loses TOFU protection
+    # exactly when an attacker wants it to) ---------------------------
+
+    def to_dict(self) -> dict:
+        """Serialise every entry (and the counters) deterministically,
+        sorted by domain."""
+        return {
+            "entries": [self._entries[domain].to_dict()
+                        for domain in sorted(self._entries)],
+            "store_count": self.store_count,
+            "hit_count": self.hit_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, clock: Clock) -> "PolicyCache":
+        """Rehydrate a cache persisted by :meth:`to_dict`.
+
+        Entries keep their original ``fetched_at``, so policies that
+        expired while the process was down are already stale to
+        :meth:`get` — a restart never extends ``max_age``.
+        """
+        cache = cls(clock)
+        for entry_data in data.get("entries", ()):
+            entry = CachedPolicy.from_dict(entry_data)
+            cache._entries[entry.domain] = entry
+        cache.store_count = int(data.get("store_count", 0))
+        cache.hit_count = int(data.get("hit_count", 0))
+        return cache

@@ -61,11 +61,20 @@ class MtaStsSender:
                  fetcher: PolicyFetcher,
                  *, config: Optional[SenderPolicyConfig] = None,
                  dane: Optional[DaneValidator] = None,
-                 reporter=None):
+                 reporter=None,
+                 cache: Optional[PolicyCache] = None,
+                 record_events: bool = True):
         """*reporter* is an optional
         :class:`repro.core.reporting.ReportCollector`; when present the
         sender feeds it RFC 8460 session results (successes, policy
-        fetch errors, certificate failures) per recipient domain."""
+        fetch errors, certificate failures) per recipient domain.
+
+        *cache* injects an existing :class:`PolicyCache` (a rehydrated
+        one after a restart, per RFC 8461's persistent-cache advice);
+        by default the sender owns a fresh cache.  *record_events*
+        turns the :class:`ValidationEvent` log off for high-volume
+        campaigns, where an unbounded per-delivery event list would
+        dominate memory."""
         self.identity = identity
         self.reporter = reporter
         self._clock = clock
@@ -73,7 +82,8 @@ class MtaStsSender:
         self._fetcher = fetcher
         self._dane = dane
         self.config = config or SenderPolicyConfig()
-        self.cache = PolicyCache(clock)
+        self.cache = cache if cache is not None else PolicyCache(clock)
+        self.record_events = record_events
         self.events: List[ValidationEvent] = []
         self._mta = SendingMta(
             identity, network, resolver, trust_store, clock,
@@ -82,6 +92,10 @@ class MtaStsSender:
             mx_preflight=self._preflight)
         self._active_policy: Optional[Policy] = None
         self._active_mechanism: str = "opportunistic"
+
+    def _note(self, event: ValidationEvent) -> None:
+        if self.record_events:
+            self.events.append(event)
 
     # -- policy discovery -------------------------------------------------
 
@@ -103,7 +117,7 @@ class MtaStsSender:
         fetch = self._fetcher.fetch_policy(domain)
         if fetch.policy is not None and fetch.failed_stage is None:
             self.cache.store(domain, fetch.policy, record.id)
-            self.events.append(ValidationEvent(
+            self._note(ValidationEvent(
                 domain, "mta-sts", "fetched-policy",
                 f"id={record.id} mode={fetch.policy.mode.value}"))
             if self.reporter is not None:
@@ -117,7 +131,7 @@ class MtaStsSender:
         # the sender degrades to opportunistic TLS (the downgrade window
         # the paper warns about).
         stage = fetch.failed_stage.value if fetch.failed_stage else ""
-        self.events.append(ValidationEvent(
+        self._note(ValidationEvent(
             domain, "mta-sts", "fetch-failed", stage))
         if self.reporter is not None:
             from repro.core.reporting import result_type_for_fetch_stage
@@ -135,11 +149,11 @@ class MtaStsSender:
         if policy_covers_mx(policy, mx_hostname):
             return True, "mx-matched"
         if policy.mode is PolicyMode.ENFORCE:
-            self.events.append(ValidationEvent(
+            self._note(ValidationEvent(
                 domain, "mta-sts", "refused",
                 f"{mx_hostname} matches no mx pattern"))
             return False, "mx-pattern-mismatch"
-        self.events.append(ValidationEvent(
+        self._note(ValidationEvent(
             domain, "mta-sts", "testing-mismatch",
             f"{mx_hostname} matches no mx pattern (testing mode)"))
         return True, "testing-mode-mismatch"
@@ -151,7 +165,7 @@ class MtaStsSender:
             verdict = self._dane.verify_mx(mx_hostname, certificate)
             if verdict.matched:
                 return True, "dane-matched"
-            self.events.append(ValidationEvent(
+            self._note(ValidationEvent(
                 domain, "dane", "refused", verdict.detail))
             return False, f"dane: {verdict.detail}"
 
@@ -169,18 +183,21 @@ class MtaStsSender:
                     validation.failure.value),
                 mx_hostname=mx_hostname, detail=validation.detail)
         if policy.mode is PolicyMode.ENFORCE:
-            self.events.append(ValidationEvent(
+            self._note(ValidationEvent(
                 domain, "mta-sts", "refused",
                 f"{mx_hostname}: {validation.detail}"))
             return False, f"pkix: {validation.detail}"
-        self.events.append(ValidationEvent(
+        self._note(ValidationEvent(
             domain, "mta-sts", "testing-cert-failure",
             f"{mx_hostname}: {validation.detail}"))
         return True, "testing-mode-cert-failure"
 
     # -- public API ----------------------------------------------------------
 
-    def send(self, message: Message) -> DeliveryAttempt:
+    def send(self, message: Message, *, attempt: int = 0) -> DeliveryAttempt:
+        """Deliver one message; *attempt* is the caller's retry ordinal
+        (threaded down to the transport so attempt-scoped faults
+        recover across queue retries)."""
         domain = message.recipient_domain
         self._active_policy = None
         self._active_mechanism = "opportunistic"
@@ -204,13 +221,13 @@ class MtaStsSender:
             self._active_mechanism = "mta-sts"
             self._active_policy = policy
 
-        attempt = self._mta.send(message)
-        if attempt.delivered:
-            self.events.append(ValidationEvent(
+        outcome = self._mta.send(message, attempt=attempt)
+        if outcome.delivered:
+            self._note(ValidationEvent(
                 domain, self._active_mechanism, "delivered"))
             if self.reporter is not None:
                 self.reporter.record_success(domain)
-        return attempt
+        return outcome
 
     @property
     def last_mechanism(self) -> str:

@@ -1,0 +1,702 @@
+"""Campaign-scale message delivery under MTA-STS enforcement.
+
+The scanner measures recipient deployments; this module exercises the
+workload MTA-STS actually protects — high-volume sending.  A
+:func:`run_delivery_campaign` enqueues a configurable workload
+(thousands of sender domains x messages each) against one materialised
+scan month, drives every sender's retrying :class:`~repro.smtp.queue.
+MailQueue` under the shared virtual clock, and applies per-delivery
+MTA-STS enforcement through each sender's RFC 8461
+:class:`~repro.core.cache.PolicyCache` (fetch → proactive refresh →
+``max_age`` expiry, TOFU semantics).  Sender behaviour follows the
+paper's §6.2 taxonomy via
+:func:`~repro.measurement.senderside.synthesize_sender_population`:
+~93% purely opportunistic TLS, MTA-STS validators, DANE validators,
+and the Postfix-milter cohort that wrongly prefers MTA-STS over DANE.
+
+Determinism is the design centre, mirroring the scan pipeline:
+
+* **wave barriers** — the campaign advances the clock only between
+  *waves*.  Within a wave every queue attempt happens at one frozen
+  instant, so each delivery outcome is a pure function of (sender
+  profile, message, instant) and thread interleavings cannot matter;
+* **coordinated admission** — a single-threaded coordinator decides
+  which (sender, seq) messages enter the queues each wave,
+  round-robin over canonically sorted senders up to the global
+  ``backpressure`` bound, so wave membership is backend-independent;
+* **batched wake-ups** — between waves the clock jumps to the minimum
+  of every queue's :meth:`~repro.smtp.queue.MailQueue.next_wakeup`,
+  rounded up to ``wakeup_seconds`` so thousands of queues coalesce
+  onto shared wake-up instants instead of each demanding a clock stop;
+* **per-sender counters only** — the byte-identity surface (ledger
+  rows, per-wave metrics, health findings) is built exclusively from
+  integers derived inside one sender's lane; shared world counters
+  (DNS, faults) are reported in :class:`DeliveryStats` but excluded
+  from :meth:`DeliveryStats.comparable`.
+
+The serial and threaded backends therefore produce **byte-identical
+delivery ledgers** (canonical JSONL, one row per finalised message),
+metric feeds, and health reports — with and without a seeded
+:class:`~repro.netsim.network.FaultPlan`, whose transient connect
+faults flow into queue retries via the attempt-ordinal passthrough.
+
+State is durable and resumable following the ``store_io`` manifest
+protocol: each wave commits a ``wave-XXXX.jsonl`` shard (sha256 in the
+manifest) plus a checkpoint of every lane's workload cursor, pending
+queue entries, and serialised policy cache; the manifest write is the
+commit point, and a resumed campaign replays to the byte-identical
+ledger a single run would have written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.clock import Clock, Duration, Instant
+from repro.core.cache import PolicyCache
+from repro.core.dane import DaneValidator
+from repro.core.fetch import PolicyFetcher
+from repro.core.refresh import RefreshDaemon
+from repro.core.sender import MtaStsSender, SenderPolicyConfig
+from repro.ecosystem.population import PopulationConfig, partition_names
+from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+from repro.errors import StoreCorruption
+from repro.fsutil import atomic_write_text, ensure_dir, read_text
+from repro.measurement.senderside import (
+    SenderProfile, synthesize_sender_population,
+)
+from repro.measurement.store_io import MANIFEST_NAME, shard_digest
+from repro.netsim.network import FaultPlan
+from repro.obs.monitor import DeliveryMonitor, DeliveryThresholds, WaveRecord
+from repro.obs.progress import ProgressTracker
+from repro.smtp.delivery import DeliveryStatus, Message
+from repro.smtp.queue import MailQueue, QueueEntry, QueueOutcome
+from repro.trace import MetricsRegistry
+
+__all__ = [
+    "DELIVERY_SCHEMA_VERSION", "DELIVERY_KIND",
+    "DeliveryCampaignConfig", "DeliveryStats", "DeliveryResult",
+    "run_delivery_campaign", "read_delivery_manifest",
+    "load_delivery_ledger",
+]
+
+#: Manifest schema for delivery state dirs (independent of the scan
+#: store's version; both currently 1).
+DELIVERY_SCHEMA_VERSION = 1
+#: The manifest ``kind`` tag that tells a delivery state dir apart
+#: from a scan-snapshot one.
+DELIVERY_KIND = "delivery-campaign"
+
+import random as _random
+
+
+@dataclass
+class DeliveryCampaignConfig:
+    """Everything that determines a delivery campaign's outcome.
+
+    The config is the identity of a campaign: two runs with equal
+    configs produce byte-identical ledgers regardless of backend, and
+    a resume refuses a state dir committed under a different config.
+    """
+
+    scale: float = 0.02            # recipient world scale
+    seed: int = 11                 # recipient population seed
+    month_index: int = 3           # which scan month to materialise
+    senders: int = 120             # sender-domain count (§6.2: 2,394)
+    messages_per_sender: int = 4
+    sender_seed: int = 20230201    # §6.2 population seed
+    backpressure: int = 10_000     # global in-flight bound
+    wakeup_seconds: int = 900      # wake-up batching granularity
+    fault_seed: Optional[int] = None
+    fault_rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.senders < 1:
+            raise ValueError("senders must be >= 1")
+        if self.messages_per_sender < 1:
+            raise ValueError("messages_per_sender must be >= 1")
+        if self.backpressure < 1:
+            raise ValueError("backpressure must be >= 1")
+        if self.wakeup_seconds < 1:
+            raise ValueError("wakeup_seconds must be >= 1")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be within [0, 1]")
+
+    @property
+    def total_messages(self) -> int:
+        return self.senders * self.messages_per_sender
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeliveryCampaignConfig":
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in (data or {}).items()
+                      if key in known})
+
+
+@dataclass
+class DeliveryStats:
+    """Integer campaign totals plus wall-clock throughput.
+
+    :meth:`comparable` strips everything that may legitimately differ
+    between backends or runs — backend/jobs labels, wall-clock timings,
+    and the *shared-world* counters (DNS, connects, faults), whose
+    attribution between concurrent lanes is interleaving-dependent even
+    though the per-lane decisions are not.
+    """
+
+    backend: str = "serial"
+    jobs: int = 1
+    scale: float = 0.0
+    seed: int = 0
+    month_index: int = 0
+    senders: int = 0
+    messages: int = 0
+    waves: int = 0
+    delivered: int = 0
+    delivered_plaintext: int = 0
+    bounced: int = 0
+    attempts: int = 0
+    queue_depth_peak: int = 0
+    dns_queries: int = 0
+    connects: int = 0
+    faults_injected: int = 0
+    world_build_seconds: float = 0.0
+    deliver_seconds: float = 0.0
+
+    _NON_DETERMINISTIC = (
+        "backend", "jobs", "dns_queries", "connects", "faults_injected",
+        "world_build_seconds", "deliver_seconds",
+    )
+
+    @property
+    def messages_per_second(self) -> float:
+        if self.deliver_seconds <= 0.0:
+            return 0.0
+        return self.messages / self.deliver_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["messages_per_second"] = self.messages_per_second
+        return data
+
+    def comparable(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name not in self._NON_DETERMINISTIC}
+
+
+@dataclass
+class DeliveryResult:
+    """One finished (or resumed-to-finish) delivery campaign."""
+
+    config: DeliveryCampaignConfig
+    stats: DeliveryStats
+    #: canonical JSONL — one compact sorted-key row per finalised
+    #: message, grouped by wave, sorted by (sender, seq) within a wave
+    ledger_text: str
+    monitor: DeliveryMonitor
+    total_registry: MetricsRegistry
+
+    @property
+    def ledger_digest(self) -> str:
+        return shard_digest(self.ledger_text)
+
+    def health(self):
+        return self.monitor.health()
+
+
+# ---------------------------------------------------------------------------
+# Sender lanes
+# ---------------------------------------------------------------------------
+
+class _SenderLane:
+    """One sender domain's private delivery machinery.
+
+    Everything a lane mutates — queue, cache, wave counters — is owned
+    by exactly one shard worker per wave, so lanes need no locks; the
+    barrier merges their integer counters, which is order-independent.
+    """
+
+    def __init__(self, profile: SenderProfile, world,
+                 recipients: Sequence[str],
+                 config: DeliveryCampaignConfig):
+        self.profile = profile
+        self.identity = profile.identity
+        self.total = config.messages_per_sender
+        self.next_seq = 0
+        # The workload is a pure function of (campaign seed, sender
+        # identity): backends and resumes always agree on message seq
+        # -> recipient.
+        rng = _random.Random(f"deliver:{config.seed}:{self.identity}")
+        self.recipients = [recipients[rng.randrange(len(recipients))]
+                           for _ in range(self.total)]
+        fetcher = PolicyFetcher(world.resolver, world.https_client)
+        sender_config = SenderPolicyConfig(
+            validate_mta_sts=profile.validates_mta_sts,
+            validate_dane=profile.validates_dane,
+            prefer_mta_sts_over_dane=profile.prefers_sts_over_dane,
+            require_pkix_always=profile.require_pkix)
+        dane = DaneValidator(world.resolver, world.dnssec)
+        self.sender = MtaStsSender(
+            self.identity, world.network, world.resolver,
+            world.trust_store, world.clock, fetcher,
+            config=sender_config, dane=dane, record_events=False)
+        self.sender._mta.opportunistic_tls = profile.uses_tls
+        self.refresh = RefreshDaemon(self.sender.cache, fetcher,
+                                     world.clock)
+        self.queue = MailQueue(self.sender, world.clock,
+                               capacity=config.backpressure,
+                               on_attempt=self._on_attempt)
+        self._clock = world.clock
+        self._mech_by_seq: Dict[object, str] = {}
+        self._wave_counters: Dict[str, int] = {}
+        self._cache_stores_seen = 0
+        self._cache_hits_seen = 0
+
+    # -- per-attempt observation --------------------------------------
+
+    def _bump(self, key: str, value: int = 1) -> None:
+        self._wave_counters[key] = self._wave_counters.get(key, 0) + value
+
+    def _on_attempt(self, entry: QueueEntry, attempt) -> None:
+        self._bump("deliver.attempts")
+        if attempt.status is DeliveryStatus.REFUSED_BY_POLICY:
+            self._bump("deliver.refused_attempts")
+        if attempt.delivered:
+            self._mech_by_seq[entry.tag] = self.sender.last_mechanism
+
+    # -- one wave ------------------------------------------------------
+
+    def run_wave(self, selected: Sequence[int], now: Instant
+                 ) -> Tuple[List[dict], Dict[str, int]]:
+        """Refresh the cache, submit this wave's admissions, retry
+        everything due, and return (finalised rows, counter deltas)."""
+        for result in self.refresh.run_once():
+            self._bump("policy.refresh_"
+                       + result.action.replace("-", "_"))
+        for seq in selected:
+            message = Message(f"mailer@{self.identity}",
+                              f"user{seq:05d}@{self.recipients[seq]}")
+            self.queue.submit(message, tag=seq)
+            self._bump("deliver.submitted")
+        self.queue.run_due()
+
+        rows: List[dict] = []
+        active: List[QueueEntry] = []
+        for entry in self.queue.entries:
+            if entry.active:
+                active.append(entry)
+                continue
+            # Finalised entries leave the queue now: queue memory stays
+            # bounded by in-flight count, not total campaign volume.
+            if entry.outcome is QueueOutcome.DELIVERED:
+                self._bump("deliver.delivered")
+                if entry.last_status is DeliveryStatus.DELIVERED_PLAINTEXT:
+                    self._bump("deliver.delivered_plaintext")
+                mechanism = self._mech_by_seq.pop(entry.tag, "")
+                if mechanism:
+                    self._bump(f"mech.{mechanism}")
+            else:
+                self._bump("deliver.bounced")
+                mechanism = ""
+            rows.append({
+                "attempts": entry.attempts,
+                "completed": now.epoch_seconds,
+                "enqueued": entry.enqueued_at.epoch_seconds,
+                "history": [status.value for status in entry.history],
+                "mechanism": mechanism,
+                "outcome": entry.outcome.value,
+                "recipient": entry.message.recipient,
+                "sender": self.identity,
+                "seq": entry.tag,
+                "status": (entry.last_status.value
+                           if entry.last_status is not None else ""),
+            })
+        self.queue.entries = active
+
+        cache = self.sender.cache
+        stores = cache.store_count - self._cache_stores_seen
+        hits = cache.hit_count - self._cache_hits_seen
+        if stores:
+            self._bump("policy.cache_stores", stores)
+        if hits:
+            self._bump("policy.cache_hits", hits)
+        self._cache_stores_seen = cache.store_count
+        self._cache_hits_seen = cache.hit_count
+
+        counters = self._wave_counters
+        self._wave_counters = {}
+        return rows, counters
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def has_state(self) -> bool:
+        return (self.next_seq > 0 or bool(self.queue.entries)
+                or len(self.sender.cache) > 0)
+
+    def checkpoint(self) -> dict:
+        return {
+            "next_seq": self.next_seq,
+            "cache": self.sender.cache.to_dict(),
+            "pending": [{
+                "attempts": entry.attempts,
+                "enqueued_at": entry.enqueued_at.epoch_seconds,
+                "next_attempt_at": entry.next_attempt_at.epoch_seconds,
+                "history": [status.value for status in entry.history],
+                "recipient": entry.message.recipient,
+                "seq": entry.tag,
+            } for entry in self.queue.entries if entry.active],
+        }
+
+    def restore(self, data: dict) -> None:
+        self.next_seq = int(data.get("next_seq", 0))
+        cache = PolicyCache.from_dict(data.get("cache") or {}, self._clock)
+        self.sender.cache = cache
+        self.refresh._cache = cache
+        self._cache_stores_seen = cache.store_count
+        self._cache_hits_seen = cache.hit_count
+        for pending in data.get("pending", ()):
+            history = [DeliveryStatus(value)
+                       for value in pending.get("history", ())]
+            self.queue.entries.append(QueueEntry(
+                message=Message(f"mailer@{self.identity}",
+                                str(pending["recipient"])),
+                enqueued_at=Instant(int(pending["enqueued_at"])),
+                next_attempt_at=Instant(int(pending["next_attempt_at"])),
+                attempts=int(pending["attempts"]),
+                last_status=history[-1] if history else None,
+                history=history,
+                tag=int(pending["seq"])))
+
+
+# ---------------------------------------------------------------------------
+# Durable state (store_io manifest protocol)
+# ---------------------------------------------------------------------------
+
+def _wave_shard_name(wave: int) -> str:
+    return f"wave-{wave:04d}.jsonl"
+
+
+def read_delivery_manifest(state_dir: str) -> Optional[dict]:
+    """The raw delivery manifest, or ``None`` when the directory holds
+    no delivery state yet.  Damaged or foreign manifests raise
+    :class:`StoreCorruption` — never treated as absent."""
+    path = os.path.join(state_dir, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        manifest = json.loads(read_text(path))
+    except (OSError, ValueError) as exc:
+        raise StoreCorruption(
+            f"{MANIFEST_NAME}: unreadable ({exc})") from exc
+    if not isinstance(manifest, dict):
+        raise StoreCorruption(f"{MANIFEST_NAME}: not a JSON object")
+    if manifest.get("kind") != DELIVERY_KIND:
+        raise StoreCorruption(
+            f"{MANIFEST_NAME}: kind {manifest.get('kind')!r} is not a "
+            f"delivery campaign")
+    if manifest.get("schema_version") != DELIVERY_SCHEMA_VERSION:
+        raise StoreCorruption(
+            f"{MANIFEST_NAME}: unsupported schema_version "
+            f"{manifest.get('schema_version')!r} "
+            f"(expected {DELIVERY_SCHEMA_VERSION})")
+    return manifest
+
+
+def _load_wave_shard(state_dir: str, entry: dict) -> str:
+    """One committed wave's verified shard text."""
+    shard = str(entry.get("shard", ""))
+    path = os.path.join(state_dir, shard)
+    if not os.path.exists(path):
+        raise StoreCorruption(f"{shard}: shard missing")
+    text = read_text(path)
+    if shard_digest(text) != entry.get("sha256"):
+        raise StoreCorruption(f"{shard}: digest mismatch")
+    if text.count("\n") != int(entry.get("rows", -1)):
+        raise StoreCorruption(f"{shard}: row count mismatch")
+    return text
+
+
+def load_delivery_ledger(state_dir: str) -> str:
+    """The full verified ledger text of a committed delivery state dir
+    (the concatenation of every wave shard, in wave order)."""
+    manifest = read_delivery_manifest(state_dir)
+    if manifest is None:
+        raise StoreCorruption(
+            f"{state_dir}: no delivery campaign state ({MANIFEST_NAME} "
+            f"missing)")
+    waves = sorted(manifest.get("waves", ()),
+                   key=lambda entry: int(entry.get("wave", 0)))
+    return "".join(_load_wave_shard(state_dir, entry) for entry in waves)
+
+
+def _commit_wave(state_dir: str, config: DeliveryCampaignConfig,
+                 committed: List[dict], wave: int, now: Instant,
+                 wave_text: str, record: WaveRecord,
+                 lanes: Sequence[_SenderLane]) -> None:
+    """Durably commit one finished wave: shard first, manifest second
+    (the manifest is the commit point, exactly as ``store_io`` commits
+    scan months)."""
+    state_dir = ensure_dir(state_dir)
+    shard = _wave_shard_name(wave)
+    atomic_write_text(os.path.join(state_dir, shard), wave_text)
+    committed.append({
+        "wave": wave, "date": record.date, "shard": shard,
+        "sha256": shard_digest(wave_text),
+        "rows": wave_text.count("\n"),
+        "clock": now.epoch_seconds,
+        "metrics": record.metrics.to_dict(),
+    })
+    manifest = {
+        "schema_version": DELIVERY_SCHEMA_VERSION,
+        "kind": DELIVERY_KIND,
+        "config": config.to_dict(),
+        "waves": committed,
+        "checkpoint": {
+            "clock": now.epoch_seconds,
+            "lanes": {lane.identity: lane.checkpoint()
+                      for lane in lanes if lane.has_state()},
+        },
+    }
+    atomic_write_text(os.path.join(state_dir, MANIFEST_NAME),
+                      json.dumps(manifest, sort_keys=True,
+                                 separators=(",", ":")))
+
+
+# ---------------------------------------------------------------------------
+# The campaign driver
+# ---------------------------------------------------------------------------
+
+def _resolve_jobs(jobs: int, lanes: int) -> int:
+    if jobs <= 0:
+        jobs = min(8, os.cpu_count() or 1)
+    return max(1, min(jobs, lanes))
+
+
+def run_delivery_campaign(config: DeliveryCampaignConfig, *,
+                          backend: str = "serial", jobs: int = 0,
+                          progress: Optional[Callable] = None,
+                          thresholds: Optional[DeliveryThresholds] = None,
+                          metrics_jsonl_path: Optional[str] = None,
+                          state_dir: Optional[str] = None,
+                          resume: bool = False,
+                          max_waves: Optional[int] = None
+                          ) -> DeliveryResult:
+    """Run (or resume) one delivery campaign to completion.
+
+    ``backend="serial"`` processes every sender lane on the caller's
+    thread; ``"threaded"`` cuts the lanes into ``jobs`` canonical-order
+    shards (:func:`~repro.ecosystem.population.partition_names`) worked
+    by a thread pool.  Both produce byte-identical ledgers, metric
+    feeds, and health reports.
+
+    With *state_dir*, every wave is durably committed; ``resume=True``
+    continues a previously committed campaign from its checkpoint (the
+    config must match the manifest's).  *max_waves* stops after that
+    many additional waves — with a state dir this emulates a crash at
+    a wave boundary, the case the resume tests replay.
+    """
+    if backend not in ("serial", "threaded"):
+        raise ValueError(f"unknown delivery backend {backend!r}")
+
+    build_started = time.perf_counter()
+    timeline = EcosystemTimeline(TimelineConfig(
+        PopulationConfig(scale=config.scale, seed=config.seed)))
+    snapshot = timeline.materialize(config.month_index)
+    world = snapshot.world
+    if config.fault_seed is not None:
+        world.network.install_fault_plan(FaultPlan.seeded(
+            seed=config.fault_seed, rate=config.fault_rate))
+    recipients = sorted(snapshot.deployed)
+    if not recipients:
+        raise ValueError(
+            f"month {config.month_index} at scale {config.scale} has no "
+            f"deployed recipient domains")
+    profiles = synthesize_sender_population(config.senders,
+                                            seed=config.sender_seed)
+    lanes = sorted((_SenderLane(profile, world, recipients, config)
+                    for profile in profiles),
+                   key=lambda lane: lane.identity)
+    world_build_seconds = time.perf_counter() - build_started
+
+    monitor = DeliveryMonitor(thresholds, backpressure=config.backpressure,
+                              jsonl_path=metrics_jsonl_path)
+    ledger_parts: List[str] = []
+    committed: List[dict] = []
+    start_wave = 0
+    finalized_before = 0
+
+    if state_dir is not None and resume:
+        manifest = read_delivery_manifest(state_dir)
+        if manifest is not None:
+            if manifest.get("config") != config.to_dict():
+                raise StoreCorruption(
+                    f"{MANIFEST_NAME}: state dir belongs to a different "
+                    f"campaign config")
+            waves = sorted(manifest.get("waves", ()),
+                           key=lambda entry: int(entry.get("wave", 0)))
+            for entry in waves:
+                text = _load_wave_shard(state_dir, entry)
+                ledger_parts.append(text)
+                finalized_before += int(entry["rows"])
+                committed.append(dict(entry))
+                monitor.add_record(WaveRecord(
+                    int(entry["wave"]), str(entry.get("date", "")),
+                    MetricsRegistry.from_dict(entry.get("metrics") or {})))
+            checkpoint = manifest.get("checkpoint") or {}
+            target = Instant(int(checkpoint.get(
+                "clock", world.clock.now().epoch_seconds)))
+            if target > world.clock.now():
+                world.clock.advance_to(target)
+            lane_states = checkpoint.get("lanes") or {}
+            for lane in lanes:
+                if lane.identity in lane_states:
+                    lane.restore(lane_states[lane.identity])
+            start_wave = len(waves)
+
+    if backend == "threaded":
+        shard_count = _resolve_jobs(jobs, len(lanes))
+    else:
+        shard_count = 1
+    lane_by_id = {lane.identity: lane for lane in lanes}
+    shards = [[lane_by_id[identity] for identity in slice_]
+              for slice_ in partition_names(
+                  [lane.identity for lane in lanes], shard_count)]
+
+    total = config.total_messages
+    tracker = None
+    if progress is not None:
+        tracker = ProgressTracker(
+            progress, month_index=config.month_index,
+            backend=f"deliver-{backend}", domains_total=total,
+            shards_total=0, virtual_epoch=snapshot.instant.epoch_seconds)
+        if finalized_before:
+            tracker.advance(finalized_before)
+
+    granularity = Duration(config.wakeup_seconds)
+    deliver_started = time.perf_counter()
+    pool = (ThreadPoolExecutor(max_workers=len(shards))
+            if backend == "threaded" and len(shards) > 1 else None)
+    wave = start_wave
+    try:
+        while True:
+            now = world.clock.now()
+            in_flight = sum(lane.queue.pending_count() for lane in lanes)
+            backlog = [lane for lane in lanes
+                       if lane.next_seq < lane.total]
+            # Coordinated admission: round-robin one message per sender
+            # over canonical order until the global bound is reached.
+            # Membership is decided here, single-threaded, so the wave
+            # is identical no matter how lanes are sharded.
+            selected: Dict[str, List[int]] = {}
+            budget = config.backpressure - in_flight
+            while budget > 0 and backlog:
+                still_hungry: List[_SenderLane] = []
+                for lane in backlog:
+                    if budget <= 0:
+                        still_hungry.append(lane)
+                        continue
+                    selected.setdefault(lane.identity,
+                                        []).append(lane.next_seq)
+                    lane.next_seq += 1
+                    budget -= 1
+                    if lane.next_seq < lane.total:
+                        still_hungry.append(lane)
+                backlog = still_hungry
+            if not selected and in_flight == 0:
+                break
+
+            def run_shard(shard_lanes: List[_SenderLane]
+                          ) -> Tuple[List[dict], Dict[str, int]]:
+                rows: List[dict] = []
+                counters: Dict[str, int] = {}
+                for lane in shard_lanes:
+                    lane_rows, lane_counters = lane.run_wave(
+                        selected.get(lane.identity, ()), now)
+                    rows.extend(lane_rows)
+                    for key, value in lane_counters.items():
+                        counters[key] = counters.get(key, 0) + value
+                return rows, counters
+
+            if pool is not None:
+                outputs = list(pool.map(run_shard, shards))
+            else:
+                outputs = [run_shard(shard) for shard in shards]
+
+            # Barrier: merge per-lane integers, emit the wave's ledger
+            # block in canonical (sender, seq) order.
+            rows = [row for shard_rows, _ in outputs for row in shard_rows]
+            rows.sort(key=lambda row: (row["sender"], row["seq"]))
+            registry = MetricsRegistry()
+            for _, counters in outputs:
+                for key in sorted(counters):
+                    registry.count(key, counters[key])
+            queue_depth = sum(lane.queue.pending_count() for lane in lanes)
+            registry.count("deliver.queue_depth", queue_depth)
+            registry.count("deliver.finalized", len(rows))
+            for row in rows:
+                row["wave"] = wave
+            wave_text = "".join(
+                json.dumps(row, sort_keys=True, separators=(",", ":"))
+                + "\n" for row in rows)
+            ledger_parts.append(wave_text)
+            record = monitor.observe_wave(wave, now.date_string(), registry)
+            if tracker is not None and rows:
+                tracker.advance(len(rows))
+            if state_dir is not None:
+                _commit_wave(state_dir, config, committed, wave, now,
+                             wave_text, record, lanes)
+            wave += 1
+            if max_waves is not None and wave - start_wave >= max_waves:
+                break
+
+            if backlog and queue_depth < config.backpressure:
+                # Capacity freed up at this very instant — admit more
+                # before touching the clock.
+                continue
+            wakeups = [wakeup for lane in lanes
+                       if (wakeup := lane.queue.next_wakeup(
+                           granularity=granularity)) is not None]
+            if not wakeups:
+                if not backlog:
+                    break
+                continue
+            target = min(wakeups)
+            if target > world.clock.now():
+                world.clock.advance_to(target)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    deliver_seconds = time.perf_counter() - deliver_started
+    if tracker is not None:
+        tracker.finish()
+
+    total_registry = MetricsRegistry()
+    for record in monitor.records:
+        total_registry.merge(record.metrics)
+    stats = DeliveryStats(
+        backend=backend, jobs=len(shards), scale=config.scale,
+        seed=config.seed, month_index=config.month_index,
+        senders=config.senders, messages=total, waves=len(monitor.records),
+        delivered=total_registry.get("deliver.delivered"),
+        delivered_plaintext=total_registry.get("deliver.delivered_plaintext"),
+        bounced=total_registry.get("deliver.bounced"),
+        attempts=total_registry.get("deliver.attempts"),
+        queue_depth_peak=max(
+            (record.metrics.get("deliver.queue_depth")
+             for record in monitor.records), default=0),
+        dns_queries=world.resolver.query_count,
+        connects=world.network.connect_count,
+        faults_injected=world.network.faults_injected,
+        world_build_seconds=world_build_seconds,
+        deliver_seconds=deliver_seconds)
+    return DeliveryResult(config=config, stats=stats,
+                          ledger_text="".join(ledger_parts),
+                          monitor=monitor, total_registry=total_registry)

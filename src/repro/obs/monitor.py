@@ -42,6 +42,7 @@ __all__ = [
     "OK", "WARN", "ALERT",
     "MonthRecord", "Thresholds", "HealthFinding", "HealthReport",
     "CampaignMonitor", "build_month_registry",
+    "WaveRecord", "DeliveryThresholds", "DeliveryMonitor",
 ]
 
 OK, WARN, ALERT = "OK", "WARN", "ALERT"
@@ -386,4 +387,174 @@ class CampaignMonitor:
                     f"{record.domains()} domains, all checks passed"))
             report.findings.extend(month_findings)
             previous = record
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Delivery-campaign health
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WaveRecord:
+    """One delivery wave's registry snapshot inside the monitor.
+
+    The registry carries only per-sender-derived integer counters (see
+    ``repro.measurement.delivery_campaign``), so the wave feed — like
+    the monthly scan feed — is byte-identical between the serial and
+    threaded delivery backends.
+    """
+
+    wave_index: int
+    date: str
+    metrics: MetricsRegistry
+
+    def finalized(self) -> int:
+        return self.metrics.get("deliver.finalized")
+
+    def delivered(self) -> int:
+        return self.metrics.get("deliver.delivered")
+
+    def bounced(self) -> int:
+        return self.metrics.get("deliver.bounced")
+
+    def queue_depth(self) -> int:
+        return self.metrics.get("deliver.queue_depth")
+
+
+@dataclass
+class DeliveryThresholds:
+    """Health bounds for a delivery campaign, evaluated over
+    *cumulative* totals at each wave (a per-wave bounce rate would
+    false-alarm on the sparse tail waves where only stragglers bounce;
+    the cumulative rate converges to the campaign's true rate).
+
+    Defaults are calibrated so a clean campaign against the simulated
+    world is all-OK while a heavily fault-seeded one surfaces findings.
+    """
+
+    #: cumulative bounced share of finalised messages (ALERT)
+    bounce_rate_alert: float = 0.35
+    #: cumulative plaintext share of delivered messages (WARN) — the
+    #: downgrade exposure the paper warns about
+    plaintext_rate_warn: float = 0.25
+    #: cumulative policy-refused share of delivery attempts (WARN)
+    refused_rate_warn: float = 0.30
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class DeliveryMonitor:
+    """Collects per-wave registry snapshots and evaluates health.
+
+    The API mirrors :class:`CampaignMonitor` (live JSONL feed, atomic
+    full-feed writes, offline re-evaluation from a saved feed) with the
+    scan month replaced by the delivery wave as the unit of record.
+    *backpressure*, when given, arms the invariant check that no wave
+    ever reports a queue depth above the campaign's global bound.
+    """
+
+    def __init__(self, thresholds: Optional[DeliveryThresholds] = None,
+                 *, backpressure: Optional[int] = None,
+                 jsonl_path: Optional[str] = None):
+        self.thresholds = thresholds or DeliveryThresholds()
+        self.backpressure = backpressure
+        self.records: List[WaveRecord] = []
+        self.jsonl_path = jsonl_path
+
+    # -- capture ------------------------------------------------------
+
+    def observe_wave(self, wave_index: int, date: str,
+                     metrics: MetricsRegistry) -> WaveRecord:
+        return self.add_record(WaveRecord(wave_index, date, metrics))
+
+    def add_record(self, record: WaveRecord) -> WaveRecord:
+        self.records.append(record)
+        self.records.sort(key=lambda r: r.wave_index)
+        if self.jsonl_path is not None:
+            append_jsonl_line(
+                self.jsonl_path,
+                month_jsonl_line(record.wave_index, record.date,
+                                 record.metrics))
+        return record
+
+    # -- (de)serialisation --------------------------------------------
+
+    def to_jsonl_lines(self) -> List[str]:
+        return [month_jsonl_line(r.wave_index, r.date, r.metrics)
+                for r in self.records]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(self.to_jsonl_lines()) + "\n"
+
+    def write_jsonl(self, path: str) -> int:
+        return write_lines_atomic(path, self.to_jsonl_lines())
+
+    @classmethod
+    def from_jsonl(cls, text: str,
+                   thresholds: Optional[DeliveryThresholds] = None,
+                   *, backpressure: Optional[int] = None,
+                   ) -> "DeliveryMonitor":
+        monitor = cls(thresholds, backpressure=backpressure)
+        for wave_index, date, registry in read_month_records(text):
+            monitor.records.append(WaveRecord(wave_index, date, registry))
+        return monitor
+
+    # -- evaluation ---------------------------------------------------
+
+    def health(self) -> HealthReport:
+        """Evaluate the thresholds over the cumulative totals at every
+        wave; every input is an integer counter, so the report is
+        byte-identical across delivery backends."""
+        report = HealthReport()
+        bounds = self.thresholds
+        finalized = delivered = plaintext = bounced = 0
+        attempts = refused = 0
+        for record in self.records:
+            finalized += record.finalized()
+            delivered += record.delivered()
+            plaintext += record.metrics.get("deliver.delivered_plaintext")
+            bounced += record.bounced()
+            attempts += record.metrics.get("deliver.attempts")
+            refused += record.metrics.get("deliver.refused_attempts")
+            findings: List[HealthFinding] = []
+
+            if (self.backpressure is not None
+                    and record.queue_depth() > self.backpressure):
+                findings.append(HealthFinding(
+                    ALERT, record.wave_index, "backpressure-violated",
+                    record.queue_depth(), self.backpressure,
+                    f"queue depth {record.queue_depth()} exceeds the "
+                    f"campaign bound {self.backpressure} — admission "
+                    f"control is broken"))
+            bounce_rate = bounced / finalized if finalized else 0.0
+            if bounce_rate > bounds.bounce_rate_alert:
+                findings.append(HealthFinding(
+                    ALERT, record.wave_index, "bounce-rate",
+                    bounce_rate, bounds.bounce_rate_alert,
+                    f"cumulative bounce share {bounce_rate:.2%} exceeds "
+                    f"{bounds.bounce_rate_alert:.2%}"))
+            plaintext_rate = plaintext / delivered if delivered else 0.0
+            if plaintext_rate > bounds.plaintext_rate_warn:
+                findings.append(HealthFinding(
+                    WARN, record.wave_index, "plaintext-fallback",
+                    plaintext_rate, bounds.plaintext_rate_warn,
+                    f"cumulative plaintext share {plaintext_rate:.2%} of "
+                    f"deliveries exceeds "
+                    f"{bounds.plaintext_rate_warn:.2%} — downgrade "
+                    f"exposure"))
+            refused_rate = refused / attempts if attempts else 0.0
+            if refused_rate > bounds.refused_rate_warn:
+                findings.append(HealthFinding(
+                    WARN, record.wave_index, "policy-refusals",
+                    refused_rate, bounds.refused_rate_warn,
+                    f"cumulative policy-refused share {refused_rate:.2%} "
+                    f"of attempts exceeds "
+                    f"{bounds.refused_rate_warn:.2%}"))
+
+            if not findings:
+                findings.append(HealthFinding(
+                    OK, record.wave_index, "all-checks", 0.0, 0.0,
+                    f"{record.finalized()} finalized, all checks passed"))
+            report.findings.extend(findings)
         return report

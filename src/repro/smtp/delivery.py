@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.clock import Clock
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import RRType
 from repro.dns.resolver import Resolver
 from repro.errors import (
-    ConnectionRefused, ConnectionTimeout, DnsError, TlsError,
+    ConnectionRefused, ConnectionReset, ConnectionTimeout, DnsError,
+    TlsError,
 )
 from repro.netsim.network import Network
 from repro.pki.ca import TrustStore
@@ -49,7 +50,12 @@ class Message:
 
     @property
     def recipient_domain(self) -> str:
-        return self.recipient.rsplit("@", 1)[-1].lower()
+        # canonical_host, not .lower(): the policy matcher and the
+        # mismatch classifier both casefold (ẞ → ss, İ → i̇), so the
+        # domain a delivery routes on must fold the same way or a
+        # recipient spelled with a non-trivial case mapping would fetch
+        # policies under one name and match mx patterns under another.
+        return canonical_host(self.recipient.rsplit("@", 1)[-1])
 
 
 @dataclass
@@ -120,6 +126,7 @@ class SendingMta:
         self.opportunistic_tls = opportunistic_tls
         self.security_gate = security_gate
         self.mx_preflight = mx_preflight
+        self._attempt_index = 0
 
     # -- MX selection -------------------------------------------------------
 
@@ -138,8 +145,21 @@ class SendingMta:
 
     # -- delivery -------------------------------------------------------------
 
-    def send(self, message: Message) -> DeliveryAttempt:
+    def send(self, message: Message, *, attempt: int = 0) -> DeliveryAttempt:
+        """Deliver one message.
+
+        *attempt* is the retry ordinal the caller's queue is on (0 for
+        the first try); it is threaded into every TCP connect so
+        attempt-scoped fault injections (refuse-twice, greylist-style
+        timeouts) recover on a later queue retry exactly as they would
+        for a real MTA.
+        """
+        self._attempt_index = attempt
         domain = message.recipient_domain
+        if not domain:
+            return DeliveryAttempt(
+                message, DeliveryStatus.NO_MX,
+                detail=f"unroutable recipient {message.recipient!r}")
         mx_hosts = self.lookup_mx(domain)
         if not mx_hosts:
             return DeliveryAttempt(message, DeliveryStatus.NO_MX,
@@ -209,8 +229,10 @@ class SendingMta:
             return None
         for address in addresses:
             try:
-                server = self._network.connect(address, SMTP_PORT)
-            except (ConnectionRefused, ConnectionTimeout) as exc:
+                server = self._network.connect(address, SMTP_PORT,
+                                               attempt=self._attempt_index)
+            except (ConnectionRefused, ConnectionReset,
+                    ConnectionTimeout) as exc:
                 attempt.detail = f"tcp: {exc}"
                 continue
             if _speaks_smtp(server):

@@ -13,6 +13,7 @@ saved most of the lucidgrow cohort ("the issue was quickly resolved").
 from __future__ import annotations
 
 import enum
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -33,6 +34,12 @@ class QueueOutcome(enum.Enum):
     BOUNCED = "bounced"          # permanent failure or lifetime exceeded
 
 
+class QueueFull(RuntimeError):
+    """Raised by :meth:`MailQueue.submit` when a bounded queue is at
+    capacity — the caller must apply backpressure (hold the message
+    back and resubmit once in-flight entries finalise)."""
+
+
 @dataclass
 class QueueEntry:
     message: Message
@@ -42,6 +49,9 @@ class QueueEntry:
     outcome: QueueOutcome = QueueOutcome.QUEUED
     last_status: Optional[DeliveryStatus] = None
     history: List[DeliveryStatus] = field(default_factory=list)
+    #: Opaque caller bookkeeping (the delivery campaign stores the
+    #: message's workload sequence number here).
+    tag: Optional[object] = None
 
     @property
     def active(self) -> bool:
@@ -70,22 +80,57 @@ class MailQueue:
 
     def __init__(self, sender, clock: Clock,
                  *, retry_schedule=DEFAULT_RETRY_SCHEDULE,
-                 lifetime: Duration = DEFAULT_QUEUE_LIFETIME):
+                 lifetime: Duration = DEFAULT_QUEUE_LIFETIME,
+                 capacity: Optional[int] = None,
+                 on_attempt: Optional[Callable[[QueueEntry,
+                                                DeliveryAttempt],
+                                               None]] = None):
+        """*capacity* bounds the number of in-flight (active) entries;
+        :meth:`submit` raises :class:`QueueFull` beyond it.  *on_attempt*
+        observes every delivery attempt (the campaign records the
+        sender's mechanism and per-wave counters through it)."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be a positive integer")
         self._sender = sender
         self._clock = clock
         self._schedule = tuple(retry_schedule)
         self._lifetime = lifetime
+        self._capacity = capacity
+        self._on_attempt = on_attempt
+        # Senders that accept the retry ordinal get it passed through
+        # (attempt-scoped fault injections then recover on retry, like
+        # a real greylist); plain ``send(message)`` senders still work.
+        try:
+            parameters = inspect.signature(sender.send).parameters
+        except (TypeError, ValueError):
+            parameters = {}
+        self._pass_attempt = "attempt" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values())
         self.entries: List[QueueEntry] = []
         self.delivered_count = 0
         self.bounced_count = 0
 
     # -- intake ----------------------------------------------------------
 
-    def submit(self, message: Message) -> QueueEntry:
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    def has_capacity(self) -> bool:
+        return (self._capacity is None
+                or len(self.pending()) < self._capacity)
+
+    def submit(self, message: Message, *,
+               tag: Optional[object] = None) -> QueueEntry:
         """Accept a message and attempt immediate delivery."""
+        if not self.has_capacity():
+            raise QueueFull(
+                f"queue for {getattr(self._sender, 'identity', '?')} is "
+                f"at capacity ({self._capacity} in flight)")
         now = self._clock.now()
         entry = QueueEntry(message=message, enqueued_at=now,
-                           next_attempt_at=now)
+                           next_attempt_at=now, tag=tag)
         self.entries.append(entry)
         self._attempt(entry)
         return entry
@@ -103,10 +148,16 @@ class MailQueue:
         return processed
 
     def _attempt(self, entry: QueueEntry) -> None:
-        attempt: DeliveryAttempt = self._sender.send(entry.message)
+        if self._pass_attempt:
+            attempt: DeliveryAttempt = self._sender.send(
+                entry.message, attempt=entry.attempts)
+        else:
+            attempt = self._sender.send(entry.message)
         entry.attempts += 1
         entry.last_status = attempt.status
         entry.history.append(attempt.status)
+        if self._on_attempt is not None:
+            self._on_attempt(entry, attempt)
 
         if attempt.delivered:
             entry.outcome = QueueOutcome.DELIVERED
@@ -136,11 +187,30 @@ class MailQueue:
     def pending(self) -> List[QueueEntry]:
         return [e for e in self.entries if e.active]
 
-    def next_wakeup(self) -> Optional[Instant]:
+    def pending_count(self) -> int:
+        return sum(1 for e in self.entries if e.active)
+
+    def next_wakeup(self, *,
+                    granularity: Optional[Duration] = None
+                    ) -> Optional[Instant]:
+        """The earliest pending retry instant.
+
+        With *granularity*, the instant is rounded **up** to the next
+        multiple of that many seconds — a batched wake-up: thousands of
+        queues whose retries land within the same window coalesce onto
+        one shared wake-up instant instead of each demanding its own
+        clock stop.  Retrying later than scheduled is always safe
+        (:meth:`run_due` processes everything that has come due).
+        """
         pending = self.pending()
         if not pending:
             return None
-        return min(e.next_attempt_at for e in pending)
+        earliest = min(e.next_attempt_at for e in pending)
+        if granularity is None or granularity.seconds <= 1:
+            return earliest
+        step = granularity.seconds
+        rounded = -(-earliest.epoch_seconds // step) * step
+        return Instant(rounded)
 
     def drain(self, *, max_steps: int = 64) -> None:
         """Advance the clock through every scheduled retry until the
