@@ -38,6 +38,17 @@ per-variant wall-clock, messages/s, waves, and peak queue depth, and
 absolute serial-clean throughput floor
 (``DELIVERY_THROUGHPUT_FLOOR_MPS``).
 
+A seventh section exercises the **policy-checker service** (``repro
+serve``): a million-request seeded query mix replayed serially against
+the evolving world, recording cache hit rate, p99 virtual latency,
+stampede fan-in, and requests/s, plus a smaller serial-vs-threaded
+pair whose metrics feeds must be byte-identical (the run aborts on
+divergence).  ``--check`` enforces the wall-clock regression gate, an
+absolute requests/s floor (``SERVE_THROUGHPUT_FLOOR_RPS``), and a
+cache hit-rate floor (``SERVE_HITRATE_FLOOR``) — the hit rate is
+deterministic at the pinned operating point, so a drop means the
+verdict cache or the query mix changed behaviour.
+
 The run also exercises the observability layer: the incremental-serial
 campaign runs with a :class:`~repro.obs.monitor.CampaignMonitor`
 attached (its monthly metrics JSONL and the final month's Prometheus
@@ -64,6 +75,7 @@ Usage::
         [--process-scale 0.1] [--process-jobs 1,2,4] [--skip-process] \
         [--delivery-scale 0.1] [--delivery-senders 2394] \
         [--delivery-messages 42] [--skip-delivery] \
+        [--serve-scale 0.02] [--serve-requests 1000000] [--skip-serve] \
         [--metrics-out FILE.jsonl] [--prom-out FILE.prom]
 """
 
@@ -110,6 +122,17 @@ CHECKPOINT_OVERHEAD_BAR_PERCENT = 10.0
 #: measured rate so CI machines pass while a real throughput
 #: regression (e.g. an accidental per-message world rebuild) fails.
 DELIVERY_THROUGHPUT_FLOOR_MPS = 4_000.0
+
+#: Absolute floors for the policy-checker service's serial 1M-request
+#: replay at the default operating point (scale 0.02, two month
+#: segments, default Zipf mix and flash cadence).  The reference
+#: machine sustains ~25k req/s at a 94.5% hit rate; the throughput
+#: floor sits at roughly a third of that so CI machines pass, while
+#: the hit-rate floor sits just under the deterministic measured value
+#: — the mix and cache are seeded, so any drop below it is a
+#: behavioural change, not noise.
+SERVE_THROUGHPUT_FLOOR_RPS = 8_000.0
+SERVE_HITRATE_FLOOR = 0.90
 
 #: The retry/fault-injection layer's no-faults overhead, measured by
 #: bracketing the commit that landed it: the campaign workload on
@@ -306,6 +329,80 @@ def _delivery_engine_section(scale: float, senders: int, messages: int,
     }
 
 
+def _policy_checker_section(scale: float, requests: int,
+                            jobs: int) -> dict:
+    """The ``repro serve`` replay: one serial million-request run for
+    the throughput/hit-rate record, plus a smaller serial-vs-threaded
+    pair as the byte-identity check.  Aborts (``RuntimeError``) if the
+    threaded metrics feed or health report diverges from serial."""
+    from repro.measurement.serve import ServeConfig, run_serve
+
+    print(f"policy-checker service (scale {scale}, "
+          f"{requests:,} requests) ...", flush=True)
+    config = ServeConfig(scale=scale, requests=requests, months=2)
+    started = time.perf_counter()
+    result = run_serve(config)
+    elapsed = time.perf_counter() - started
+    stats = result.stats
+    print(f"  serial       {elapsed:6.2f}s  "
+          f"{stats.requests_per_second:8.1f} req/s  "
+          f"hit rate {stats.hit_rate:.2%}  "
+          f"p99 {result.p99_latency_seconds:.3f}s", flush=True)
+
+    identity_config = ServeConfig(scale=scale, months=2,
+                                  requests=max(1, requests // 10))
+    reference = run_serve(identity_config)
+    started = time.perf_counter()
+    threaded = run_serve(identity_config, backend="threaded", jobs=jobs)
+    threaded_seconds = time.perf_counter() - started
+    if threaded.monitor.to_jsonl() != reference.monitor.to_jsonl():
+        raise RuntimeError(
+            "policy-checker service (threaded) metrics feed diverged "
+            "from the serial reference")
+    if (threaded.health().render() != reference.health().render()
+            or threaded.stats.comparable()
+            != reference.stats.comparable()):
+        raise RuntimeError(
+            "policy-checker service (threaded) health or stats "
+            "diverged from the serial reference")
+    print(f"  threaded -j{jobs:<2d} {threaded_seconds:6.2f}s  "
+          f"({identity_config.requests:,} requests, metrics "
+          f"byte-identical to serial)", flush=True)
+
+    return {
+        "scale": scale,
+        "seed": config.seed,
+        "query_seed": config.query_seed,
+        "months": config.months,
+        "throughput_floor_rps": SERVE_THROUGHPUT_FLOOR_RPS,
+        "hit_rate_floor": SERVE_HITRATE_FLOOR,
+        "metrics_identical_across_backends": True,
+        "results": {
+            "serve-serial": {
+                "seconds": round(elapsed, 3),
+                "requests": stats.requests,
+                "flash_requests": stats.flash_requests,
+                "computations": stats.computations,
+                "hits": stats.hits,
+                "collapsed": stats.collapsed,
+                "evictions": stats.evictions,
+                "hit_rate": round(stats.hit_rate, 4),
+                "stampede_fanin_peak": stats.stampede_fanin_peak,
+                "p99_latency_seconds": result.p99_latency_seconds,
+                "requests_per_second": round(
+                    stats.requests_per_second, 1),
+                "windows": stats.windows,
+                "health": result.health().level,
+            },
+            "serve-threaded-identity": {
+                "seconds": round(threaded_seconds, 3),
+                "jobs": jobs,
+                "requests": threaded.stats.requests,
+            },
+        },
+    }
+
+
 def _wallclock_rows(report: dict) -> dict:
     """Flatten every gated wall-clock in a report to ``name ->
     seconds`` — campaign configurations, the process curve, and the
@@ -320,6 +417,9 @@ def _wallclock_rows(report: dict) -> dict:
     delivery = report.get("delivery_engine") or {}
     for name, row in delivery.get("results", {}).items():
         rows[f"delivery-{name}"] = row["seconds"]
+    checker = report.get("policy_checker") or {}
+    for name, row in checker.get("results", {}).items():
+        rows[name] = row["seconds"]
     return rows
 
 
@@ -416,6 +516,17 @@ def main() -> int:
                              "messages at the default sender count)")
     parser.add_argument("--skip-delivery", action="store_true",
                         help="skip the delivery-engine section")
+    parser.add_argument("--serve-scale", type=float, default=0.02,
+                        metavar="SCALE",
+                        help="domain-world scale for the policy-checker "
+                             "section (default 0.02)")
+    parser.add_argument("--serve-requests", type=int, default=1_000_000,
+                        metavar="N",
+                        help="popularity-mix requests for the "
+                             "policy-checker replay (default 1000000; "
+                             "flash crowds ride on top)")
+    parser.add_argument("--skip-serve", action="store_true",
+                        help="skip the policy-checker service section")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write the monitored campaign's monthly "
                              "metrics JSONL feed to FILE")
@@ -512,6 +623,11 @@ def main() -> int:
             args.delivery_scale, args.delivery_senders,
             args.delivery_messages, args.jobs)
 
+    serve_section = None
+    if not args.skip_serve:
+        serve_section = _policy_checker_section(
+            args.serve_scale, args.serve_requests, args.jobs)
+
     # The recorded seed baseline was measured at the default scale and
     # seed; at any other operating point the comparison is meaningless.
     comparable = args.scale == 0.02 and args.seed == 20240929
@@ -575,6 +691,7 @@ def main() -> int:
         "profile": profile_report,
         "process_backend": process_section,
         "delivery_engine": delivery_section,
+        "policy_checker": serve_section,
         "results": results,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -597,6 +714,22 @@ def main() -> int:
               f"{'FAIL' if violated else 'ok'}")
         if violated:
             bar_failures.append("delivery/clean-serial-throughput")
+    if serve_section is not None:
+        serial_row = serve_section["results"]["serve-serial"]
+        rps = serial_row["requests_per_second"]
+        violated = rps < SERVE_THROUGHPUT_FLOOR_RPS
+        print(f"throughput bar [serve/serial]: {rps:.0f} req/s "
+              f"(floor {SERVE_THROUGHPUT_FLOOR_RPS:.0f}) "
+              f"{'FAIL' if violated else 'ok'}")
+        if violated:
+            bar_failures.append("serve/serial-throughput")
+        hit_rate = serial_row["hit_rate"]
+        violated = hit_rate < SERVE_HITRATE_FLOOR
+        print(f"hit-rate bar [serve/serial]: {hit_rate:.2%} "
+              f"(floor {SERVE_HITRATE_FLOOR:.0%}) "
+              f"{'FAIL' if violated else 'ok'}")
+        if violated:
+            bar_failures.append("serve/serial-hit-rate")
     if args.check:
         failures = _check_regressions(report, args.check,
                                       args.max_regression)

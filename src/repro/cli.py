@@ -44,6 +44,17 @@
   emitting a canonical delivery ledger, per-wave metrics, and a
   delivery health report (exit 1 on any ALERT; serial and threaded
   backends are byte-identical);
+* ``serve [--scale S] [--requests N --batch-size B]
+  [--month M --months K] [--backend serial|threaded --jobs N]
+  [--ttl-seconds T --min-ttl-seconds T] [--zipf-s S]
+  [--flash-every K --flash-size N] [--metrics-out FILE]
+  [--prom-out FILE] [--progress]`` — replay a seeded open-internet
+  query mix against the MTA-STS policy-checker service: verdicts
+  computed through the scanner's single-domain path, cached in a
+  single-flight TTL verdict cache, with per-window hit-rate, p99
+  virtual latency, and stampede fan-in metrics plus a service
+  health report (exit 1 on any ALERT; serial and threaded backends
+  emit byte-identical metrics feeds);
 * ``monitor FILE|DIR`` — re-evaluate a saved monthly metrics JSONL
   feed, or a campaign store directory, against (configurable)
   health thresholds (exit 1 on any ALERT);
@@ -58,6 +69,7 @@ from typing import List, Optional
 
 from repro.core.policy import check_policy_text
 from repro.core.record import parse_sts_record
+from repro.dns.name import canonical_host
 from repro.errors import RecordError
 
 
@@ -220,7 +232,7 @@ def _cmd_audit(args) -> int:
             records = executor.last_trace.write_jsonl(args.trace)
             info(f"trace: {records} records -> {args.trace}")
         if args.explain:
-            info(executor.last_trace.explain(args.explain.strip().lower()))
+            info(executor.last_trace.explain(canonical_host(args.explain)))
             info()
         snapshots = store.month(month)
         summary = snapshot_summary(
@@ -402,6 +414,65 @@ def _cmd_campaign_deliver(args) -> int:
           f"{stats.attempts:,} attempts, "
           f"peak queue depth {stats.queue_depth_peak:,}")
     print(f"  ledger sha256 {result.ledger_digest}")
+    report = result.health()
+    print(report.render())
+    return 1 if report.level == ALERT else 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.measurement.serve import ServeConfig, run_serve
+    from repro.obs.exporters import prometheus_exposition
+    from repro.obs.monitor import ALERT, ServeThresholds
+
+    thresholds = ServeThresholds()
+    for name in ("hit_rate_floor_warn", "p99_latency_alert",
+                 "fanin_warn"):
+        value = getattr(args, name, None)
+        if value is not None:
+            setattr(thresholds, name, value)
+    progress = None
+    if args.progress:
+        def progress(served, total):
+            print(f"\rserve: {served:,}/{total:,} requests "
+                  f"({served / total:.0%})", end="", file=sys.stderr)
+            if served >= total:
+                print(file=sys.stderr)
+    try:
+        config = ServeConfig(
+            scale=args.scale, seed=args.seed, query_seed=args.query_seed,
+            requests=args.requests, batch_size=args.batch_size,
+            month_index=args.month, months=args.months,
+            ttl_seconds=args.ttl_seconds,
+            min_ttl_seconds=args.min_ttl_seconds,
+            zipf_s=args.zipf_s, flash_every=args.flash_every,
+            flash_size=args.flash_size, record_every=args.record_every)
+        result = run_serve(config, backend=args.backend,
+                           jobs=_resolve_jobs(args.jobs, args.backend),
+                           thresholds=thresholds, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    if args.metrics_out:
+        records = result.monitor.write_jsonl(args.metrics_out)
+        print(f"window metrics: {records} records -> {args.metrics_out}")
+    if args.prom_out:
+        from repro.fsutil import atomic_write_text
+        atomic_write_text(args.prom_out, prometheus_exposition(
+            result.total_registry, labels={"command": "serve"}))
+        print(f"prometheus metrics -> {args.prom_out}")
+    print(f"serve: {stats.requests:,} requests "
+          f"({stats.flash_requests:,} from flash crowds) over "
+          f"{stats.months} month(s) [{stats.backend}] "
+          f"({stats.serve_seconds:.2f}s, "
+          f"{stats.requests_per_second:,.0f} req/s)")
+    print(f"  verdicts computed {stats.computations:,}, cache hits "
+          f"{stats.hits:,}, collapsed in flight {stats.collapsed:,} "
+          f"(hit rate {stats.hit_rate:.2%})")
+    print(f"  stampede fan-in peak {stats.stampede_fanin_peak:,}, "
+          f"evictions {stats.evictions:,}, "
+          f"{stats.cache_entries:,} entries cached, "
+          f"p99 virtual latency {result.p99_latency_seconds:.3f}s")
     report = result.health()
     print(report.render())
     return 1 if report.level == ALERT else 0
@@ -749,6 +820,82 @@ def build_parser() -> argparse.ArgumentParser:
                          help="WARN when the cumulative policy-refusal "
                               "share of attempts exceeds R")
     deliver.set_defaults(handler=_cmd_campaign_deliver)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a seeded query mix against the policy-checker "
+             "service")
+    serve.add_argument("--scale", type=float, default=0.02,
+                       help="domain world scale (default 0.02)")
+    serve.add_argument("--seed", type=int, default=11,
+                       help="world population seed")
+    serve.add_argument("--query-seed", type=int, default=97,
+                       dest="query_seed",
+                       help="query-mix seed (ranking, draws, and flash "
+                            "crowds)")
+    serve.add_argument("--requests", type=_positive_int, default=100_000,
+                       metavar="N",
+                       help="popularity-mix requests to replay "
+                            "(default 100000; flash crowds ride on top)")
+    serve.add_argument("--batch-size", type=_positive_int, default=2_000,
+                       dest="batch_size", metavar="B",
+                       help="requests served per tick at a frozen "
+                            "virtual instant (default 2000)")
+    serve.add_argument("--month", type=int, default=0,
+                       help="first scan month to materialise (default 0)")
+    serve.add_argument("--months", type=_positive_int, default=1,
+                       metavar="K",
+                       help="month snapshots the service lives through "
+                            "(the world re-materialises at each "
+                            "boundary; default 1)")
+    serve.add_argument("--backend", choices=("serial", "threaded"),
+                       default="serial",
+                       help="request backend (byte-identical metrics)")
+    serve.add_argument("--jobs", type=_job_count, default=0,
+                       help="threaded worker count (0 = auto)")
+    serve.add_argument("--ttl-seconds", type=_positive_int,
+                       default=86_400, dest="ttl_seconds", metavar="T",
+                       help="default and maximum verdict TTL "
+                            "(default 86400)")
+    serve.add_argument("--min-ttl-seconds", type=_positive_int,
+                       default=3_600, dest="min_ttl_seconds", metavar="T",
+                       help="floor for policy-driven verdict TTLs "
+                            "(default 3600)")
+    serve.add_argument("--zipf-s", type=float, default=1.1,
+                       dest="zipf_s", metavar="S",
+                       help="popularity skew exponent (default 1.1)")
+    serve.add_argument("--flash-every", type=int, default=16,
+                       dest="flash_every", metavar="K",
+                       help="ticks between flash crowds (0 = off; "
+                            "default 16)")
+    serve.add_argument("--flash-size", type=int, default=4_000,
+                       dest="flash_size", metavar="N",
+                       help="requests per flash crowd (default 4000)")
+    serve.add_argument("--record-every", type=_positive_int, default=8,
+                       dest="record_every", metavar="K",
+                       help="ticks per metrics window record (default 8)")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       dest="metrics_out",
+                       help="write the per-window metrics JSONL to FILE")
+    serve.add_argument("--prom-out", default=None, metavar="FILE",
+                       dest="prom_out",
+                       help="write the replay's total metrics as a "
+                            "Prometheus text exposition to FILE")
+    serve.add_argument("--progress", action="store_true",
+                       help="live replay heartbeats on stderr")
+    serve.add_argument("--hit-rate-floor-warn", type=_rate, default=None,
+                       dest="hit_rate_floor_warn", metavar="R",
+                       help="WARN when the cumulative cache hit rate "
+                            "falls below R")
+    serve.add_argument("--p99-latency-alert", type=float, default=None,
+                       dest="p99_latency_alert", metavar="S",
+                       help="ALERT when a window's p99 virtual latency "
+                            "exceeds S seconds")
+    serve.add_argument("--fanin-warn", type=_positive_int, default=None,
+                       dest="fanin_warn", metavar="N",
+                       help="WARN when one computation absorbs more "
+                            "than N concurrent requests")
+    serve.set_defaults(handler=_cmd_serve)
 
     monitor = sub.add_parser(
         "monitor",

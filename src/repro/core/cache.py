@@ -15,10 +15,21 @@ The cache semantics drive two of the paper's findings:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Generic, Optional, Tuple, TypeVar
 
 from repro.clock import Clock, Duration, Instant
 from repro.core.policy import Policy, parse_policy, render_policy
+from repro.dns.name import canonical_host
+
+
+def ttl_fresh(stored_at: Instant, ttl_seconds: int, now: Instant) -> bool:
+    """RFC 8461-style freshness shared by every TTL cache in the repo.
+
+    The lifetime is capped *at* ``ttl_seconds``: an entry stored at T
+    is last honoured at ``T + ttl - 1`` and expired at exactly
+    ``T + ttl`` (a ``<=`` here would grant a ttl+1'th second).
+    """
+    return now < stored_at + Duration(ttl_seconds)
 
 
 @dataclass
@@ -34,7 +45,7 @@ class CachedPolicy:
         return self.fetched_at + Duration(self.policy.max_age)
 
     def fresh_at(self, now: Instant) -> bool:
-        return now <= self.expires_at()
+        return ttl_fresh(self.fetched_at, self.policy.max_age, now)
 
     def to_dict(self) -> dict:
         """A JSON-serialisable form (the policy rides as its RFC 8461
@@ -62,7 +73,7 @@ class PolicyCache:
         self.hit_count = 0
 
     def store(self, domain: str, policy: Policy, record_id: str) -> CachedPolicy:
-        domain = domain.lower().rstrip(".")
+        domain = canonical_host(domain)
         entry = CachedPolicy(domain, policy, record_id, self._clock.now())
         self._entries[domain] = entry
         self.store_count += 1
@@ -70,19 +81,28 @@ class PolicyCache:
 
     def get(self, domain: str) -> Optional[CachedPolicy]:
         """Return the cached entry if still fresh; expire it otherwise."""
-        domain = domain.lower().rstrip(".")
+        entry = self._fresh_entry(domain)
+        if entry is not None:
+            self.hit_count += 1
+        return entry
+
+    def _fresh_entry(self, domain: str) -> Optional[CachedPolicy]:
+        """Freshness check shared by :meth:`get` and
+        :meth:`needs_refresh`: evicts stale entries but does *not*
+        count a hit, so refresh-daemon probes don't inflate the
+        delivery engine's cache hit-rate metric."""
+        domain = canonical_host(domain)
         entry = self._entries.get(domain)
         if entry is None:
             return None
         if not entry.fresh_at(self._clock.now()):
             del self._entries[domain]
             return None
-        self.hit_count += 1
         return entry
 
     def peek(self, domain: str) -> Optional[CachedPolicy]:
         """Like :meth:`get` without freshness eviction or hit counting."""
-        return self._entries.get(domain.lower().rstrip("."))
+        return self._entries.get(canonical_host(domain))
 
     def needs_refresh(self, domain: str,
                       current_record_id: Optional[str]) -> bool:
@@ -93,7 +113,7 @@ class PolicyCache:
         invalidate a fresh cached policy (that is what makes abrupt
         removal dangerous).
         """
-        entry = self.get(domain)
+        entry = self._fresh_entry(domain)
         if entry is None:
             return True
         if current_record_id is None:
@@ -101,7 +121,7 @@ class PolicyCache:
         return current_record_id != entry.record_id
 
     def evict(self, domain: str) -> None:
-        self._entries.pop(domain.lower().rstrip("."), None)
+        self._entries.pop(canonical_host(domain), None)
 
     def flush(self) -> None:
         self._entries.clear()
@@ -138,3 +158,82 @@ class PolicyCache:
         cache.store_count = int(data.get("store_count", 0))
         cache.hit_count = int(data.get("hit_count", 0))
         return cache
+
+
+# ---------------------------------------------------------------------------
+# Generic TTL cache (the policy cache's semantics, for any value type)
+# ---------------------------------------------------------------------------
+
+V = TypeVar("V")
+
+
+class TtlCache(Generic[V]):
+    """A per-entry-TTL cache against the virtual clock.
+
+    This is :class:`PolicyCache`'s expiry/eviction contract factored
+    out for other cached artifacts (the ``repro serve`` verdict cache):
+    strict :func:`ttl_fresh` freshness, stale entries evicted on read,
+    ``store_count``/``hit_count`` bookkeeping, and a non-counting
+    :meth:`fresh` probe so background freshness checks never inflate
+    the hit-rate metric.  Keys are used as given — callers canonicalise
+    (``canonical_host``) before reaching the cache.
+    """
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self._entries: Dict[str, Tuple[V, Instant, int]] = {}
+        self.store_count = 0
+        self.hit_count = 0
+        self.eviction_count = 0
+
+    def store(self, key: str, value: V, ttl_seconds: int) -> None:
+        if ttl_seconds < 1:
+            raise ValueError("ttl_seconds must be >= 1")
+        self._entries[key] = (value, self._clock.now(), ttl_seconds)
+        self.store_count += 1
+
+    def get(self, key: str) -> Optional[V]:
+        """The cached value if still fresh (counted); stale entries are
+        evicted, exactly as :meth:`PolicyCache.get` evicts policies."""
+        value = self._fresh_value(key)
+        if value is not None:
+            self.hit_count += 1
+        return value
+
+    def fresh(self, key: str) -> bool:
+        """Non-counting freshness probe (still evicts stale entries)."""
+        return self._fresh_value(key) is not None
+
+    def _fresh_value(self, key: str) -> Optional[V]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, stored_at, ttl_seconds = entry
+        if not ttl_fresh(stored_at, ttl_seconds, self._clock.now()):
+            del self._entries[key]
+            self.eviction_count += 1
+            return None
+        return value
+
+    def peek(self, key: str) -> Optional[V]:
+        """The raw entry value, fresh or not, without eviction."""
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def expires_at(self, key: str) -> Optional[Instant]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        _, stored_at, ttl_seconds = entry
+        return stored_at + Duration(ttl_seconds)
+
+    def evict(self, key: str) -> None:
+        if self._entries.pop(key, None) is not None:
+            self.eviction_count += 1
+
+    def flush(self) -> None:
+        self.eviction_count += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

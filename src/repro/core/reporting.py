@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.clock import DAY, Clock, Instant
 from repro.core.tlsrpt import TlsRptRecord, lookup_tlsrpt
+from repro.dns.name import canonical_host
 from repro.dns.resolver import Resolver
 
 
@@ -179,16 +180,16 @@ class ReportCollector:
 
     def record_policy(self, domain: str, policy_type: str,
                       policy_strings: Tuple[str, ...]) -> None:
-        tally = self._tallies[domain.lower()]
+        tally = self._tallies[canonical_host(domain)]
         tally.policy_type = policy_type
         tally.policy_strings = policy_strings
 
     def record_success(self, domain: str) -> None:
-        self._tallies[domain.lower()].successes += 1
+        self._tallies[canonical_host(domain)].successes += 1
 
     def record_failure(self, domain: str, result_type: ResultType,
                        mx_hostname: str = "", detail: str = "") -> None:
-        tally = self._tallies[domain.lower()]
+        tally = self._tallies[canonical_host(domain)]
         tally.failures[(result_type, mx_hostname)] += 1
 
     def window_expired(self) -> bool:

@@ -43,6 +43,7 @@ __all__ = [
     "MonthRecord", "Thresholds", "HealthFinding", "HealthReport",
     "CampaignMonitor", "build_month_registry",
     "WaveRecord", "DeliveryThresholds", "DeliveryMonitor",
+    "ServeRecord", "ServeThresholds", "ServeMonitor",
 ]
 
 OK, WARN, ALERT = "OK", "WARN", "ALERT"
@@ -556,5 +557,170 @@ class DeliveryMonitor:
                 findings.append(HealthFinding(
                     OK, record.wave_index, "all-checks", 0.0, 0.0,
                     f"{record.finalized()} finalized, all checks passed"))
+            report.findings.extend(findings)
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Policy-checker service health
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServeRecord:
+    """One ``repro serve`` metrics window inside the monitor.
+
+    The registry carries the coordinator-derived integer counters and
+    the virtual-latency histogram from
+    ``repro.measurement.serve`` — every value is computed from batch
+    composition on the single-threaded coordinator, so the window feed
+    is byte-identical between the serial and threaded serve backends.
+    """
+
+    window_index: int
+    date: str
+    metrics: MetricsRegistry
+
+    def requests(self) -> int:
+        return self.metrics.get("serve.requests")
+
+    def computations(self) -> int:
+        return self.metrics.get("serve.computations")
+
+    def served_from_cache(self) -> int:
+        """Requests answered without a fresh scan: direct cache hits
+        plus followers collapsed onto an in-flight computation."""
+        return (self.metrics.get("serve.hits")
+                + self.metrics.get("serve.collapsed"))
+
+    def hit_rate(self) -> float:
+        requests = self.requests()
+        return self.served_from_cache() / requests if requests else 0.0
+
+    def fanin_peak(self) -> int:
+        return self.metrics.get("serve.stampede_fanin_peak")
+
+    def p99_latency_seconds(self) -> float:
+        histogram = self.metrics.histograms.get("serve.latency")
+        return histogram.quantile(0.99) if histogram is not None else 0.0
+
+
+@dataclass
+class ServeThresholds:
+    """Health bounds for the policy-checker service.
+
+    The hit-rate floor is evaluated over *cumulative* totals (early
+    windows are all cold misses — a per-window floor would false-alarm
+    before the cache warms); latency and fan-in are per-window, since
+    a p99 regression in one window is actionable on its own.  Defaults
+    are calibrated so the default seeded query mix is all-OK.
+    """
+
+    #: cumulative served-from-cache share of all requests (WARN below)
+    hit_rate_floor_warn: float = 0.60
+    #: per-window p99 virtual latency in seconds (ALERT above)
+    p99_latency_alert: float = 5.0
+    #: per-window stampede fan-in a single computation absorbed
+    #: (WARN above — the single-flight cache should make even a flash
+    #: crowd one computation, so this bounds *workload* spikes, not
+    #: wasted work)
+    fanin_warn: int = 50_000
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ServeMonitor:
+    """Collects per-window registry snapshots and evaluates health.
+
+    The API mirrors :class:`DeliveryMonitor` (live JSONL feed, atomic
+    full-feed writes, offline re-evaluation from a saved feed) with the
+    metrics window as the unit of record.
+    """
+
+    def __init__(self, thresholds: Optional[ServeThresholds] = None,
+                 *, jsonl_path: Optional[str] = None):
+        self.thresholds = thresholds or ServeThresholds()
+        self.records: List[ServeRecord] = []
+        self.jsonl_path = jsonl_path
+
+    # -- capture ------------------------------------------------------
+
+    def observe_window(self, window_index: int, date: str,
+                       metrics: MetricsRegistry) -> ServeRecord:
+        return self.add_record(ServeRecord(window_index, date, metrics))
+
+    def add_record(self, record: ServeRecord) -> ServeRecord:
+        self.records.append(record)
+        self.records.sort(key=lambda r: r.window_index)
+        if self.jsonl_path is not None:
+            append_jsonl_line(
+                self.jsonl_path,
+                month_jsonl_line(record.window_index, record.date,
+                                 record.metrics))
+        return record
+
+    # -- (de)serialisation --------------------------------------------
+
+    def to_jsonl_lines(self) -> List[str]:
+        return [month_jsonl_line(r.window_index, r.date, r.metrics)
+                for r in self.records]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(self.to_jsonl_lines()) + "\n"
+
+    def write_jsonl(self, path: str) -> int:
+        return write_lines_atomic(path, self.to_jsonl_lines())
+
+    @classmethod
+    def from_jsonl(cls, text: str,
+                   thresholds: Optional[ServeThresholds] = None,
+                   ) -> "ServeMonitor":
+        monitor = cls(thresholds)
+        for window_index, date, registry in read_month_records(text):
+            monitor.records.append(
+                ServeRecord(window_index, date, registry))
+        return monitor
+
+    # -- evaluation ---------------------------------------------------
+
+    def health(self) -> HealthReport:
+        """Evaluate the thresholds over every observed window; every
+        input is an integer counter or an integer-bucket histogram, so
+        the report is byte-identical across serve backends."""
+        report = HealthReport()
+        bounds = self.thresholds
+        requests = cached = 0
+        for record in self.records:
+            requests += record.requests()
+            cached += record.served_from_cache()
+            findings: List[HealthFinding] = []
+
+            hit_rate = cached / requests if requests else 0.0
+            if hit_rate < bounds.hit_rate_floor_warn:
+                findings.append(HealthFinding(
+                    WARN, record.window_index, "hit-rate-floor",
+                    hit_rate, bounds.hit_rate_floor_warn,
+                    f"cumulative cache hit rate {hit_rate:.2%} below "
+                    f"{bounds.hit_rate_floor_warn:.2%} — the verdict "
+                    f"cache is not absorbing the query mix"))
+            p99 = record.p99_latency_seconds()
+            if p99 > bounds.p99_latency_alert:
+                findings.append(HealthFinding(
+                    ALERT, record.window_index, "p99-latency",
+                    p99, bounds.p99_latency_alert,
+                    f"window p99 virtual latency {p99:.3f}s exceeds "
+                    f"{bounds.p99_latency_alert:.3f}s"))
+            fanin = record.fanin_peak()
+            if fanin > bounds.fanin_warn:
+                findings.append(HealthFinding(
+                    WARN, record.window_index, "stampede-fanin",
+                    fanin, bounds.fanin_warn,
+                    f"{fanin} concurrent requests collapsed onto one "
+                    f"computation (bound {bounds.fanin_warn})"))
+
+            if not findings:
+                findings.append(HealthFinding(
+                    OK, record.window_index, "all-checks", 0.0, 0.0,
+                    f"{record.requests()} requests, all checks passed"))
             report.findings.extend(findings)
         return report

@@ -169,6 +169,24 @@ class Histogram:
     def observations(self) -> int:
         return sum(self.counts)
 
+    def quantile(self, q: float) -> float:
+        """The upper bucket bound containing the *q*-quantile, in
+        seconds (the usual Prometheus-style histogram estimate).
+        Observations in the overflow bucket report ``inf``; an empty
+        histogram reports ``0.0``."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be within (0, 1]")
+        total = self.observations
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            if cumulative >= target:
+                return float(bound)
+        return float("inf")
+
     def merge(self, other: "Histogram") -> None:
         for index, value in enumerate(other.counts):
             self.counts[index] += value

@@ -37,10 +37,39 @@ class TestPolicyCache:
         assert len(cache) == 0
 
     def test_fresh_until_max_age(self, world):
+        # RFC 8461 caps lifetime at max_age: last fresh second is
+        # fetched_at + max_age - 1; at exactly max_age the entry expires.
         cache = PolicyCache(world.clock)
         cache.store("example.com", make_policy(max_age=3600), "id1")
-        world.clock.advance(Duration(3600))
+        world.clock.advance(Duration(3599))
         assert cache.get("example.com") is not None
+        world.clock.advance(Duration(1))
+        assert cache.get("example.com") is None
+
+    def test_casefold_keying(self, world):
+        # ẞ and İ casefold differently from .lower(); the cache must
+        # key exactly as canonical_host() does, or a ẞ/İ sender domain
+        # would cache under a key the matcher and scanner never read.
+        cache = PolicyCache(world.clock)
+        cache.store("STRAẞE.example.", make_policy(), "id1")
+        assert cache.get("strasse.example") is not None
+        cache.store("İSTANBUL.example", make_policy(), "id2")
+        assert cache.get("i̇stanbul.example") is not None
+        assert cache.needs_refresh("strasse.example", "id1") is False
+        cache.evict("STRASSE.example")
+        assert cache.peek("strasse.example") is None
+
+    def test_refresh_probes_do_not_count_hits(self, world):
+        # RefreshDaemon freshness probes must not inflate hit_count:
+        # the delivery engine reports it as the cache hit-rate metric.
+        cache = PolicyCache(world.clock)
+        cache.store("example.com", make_policy(), "id1")
+        assert cache.hit_count == 0
+        for _ in range(5):
+            cache.needs_refresh("example.com", "id1")
+        assert cache.hit_count == 0
+        cache.get("example.com")
+        assert cache.hit_count == 1
 
     def test_refresh_on_id_change(self, world):
         cache = PolicyCache(world.clock)
