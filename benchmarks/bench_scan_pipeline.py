@@ -38,6 +38,17 @@ per-variant wall-clock, messages/s, waves, and peak queue depth, and
 absolute serial-clean throughput floor
 (``DELIVERY_THROUGHPUT_FLOOR_MPS``).
 
+A **tlsrpt pipeline** section exercises the RFC 8460 reporting path
+over the delivery campaign at the delivery scale: clean and
+fault-seeded runs, each serial and threaded, with the serial
+received-report JSONL and ingestion-monitor window JSONL as the
+byte-identity reference (the run aborts on divergence), plus a
+separately timed offline re-ingestion of the saved report feed.
+``--check`` enforces two absolute rate floors:
+``TLSRPT_GENERATION_FLOOR_RPS`` (reports minted per second of
+delivery time in the serial clean run) and
+``TLSRPT_INGEST_FLOOR_RPS`` (aggregator + monitor re-ingestion).
+
 A seventh section exercises the **policy-checker service** (``repro
 serve``): a million-request seeded query mix replayed serially against
 the evolving world, recording cache hit rate, p99 virtual latency,
@@ -75,6 +86,8 @@ Usage::
         [--process-scale 0.1] [--process-jobs 1,2,4] [--skip-process] \
         [--delivery-scale 0.1] [--delivery-senders 2394] \
         [--delivery-messages 42] [--skip-delivery] \
+        [--tlsrpt-scale 0.1] [--tlsrpt-senders 600] \
+        [--tlsrpt-messages 6] [--skip-tlsrpt] \
         [--serve-scale 0.02] [--serve-requests 1000000] [--skip-serve] \
         [--metrics-out FILE.jsonl] [--prom-out FILE.prom]
 """
@@ -122,6 +135,17 @@ CHECKPOINT_OVERHEAD_BAR_PERCENT = 10.0
 #: measured rate so CI machines pass while a real throughput
 #: regression (e.g. an accidental per-message world rebuild) fails.
 DELIVERY_THROUGHPUT_FLOOR_MPS = 4_000.0
+
+#: Absolute floors for the TLSRPT pipeline section: the serial clean
+#: campaign's report-generation rate (reports minted per second of
+#: delivery time, flushes and rua routing included) and the offline
+#: re-ingestion rate of the saved report feed (``ReportAggregator`` +
+#: ``TlsRptMonitor``).  The reference machine generates ~2.5k
+#: reports/s clean (~1k faulted) and ingests ~47k reports/s; both
+#: floors sit at less than half the worst measured rate so CI machines
+#: pass while a real regression (e.g. a per-flush world walk) fails.
+TLSRPT_GENERATION_FLOOR_RPS = 1_000.0
+TLSRPT_INGEST_FLOOR_RPS = 15_000.0
 
 #: Absolute floors for the policy-checker service's serial 1M-request
 #: replay at the default operating point (scale 0.02, two month
@@ -329,6 +353,110 @@ def _delivery_engine_section(scale: float, senders: int, messages: int,
     }
 
 
+def _tlsrpt_pipeline_section(scale: float, senders: int, messages: int,
+                             jobs: int) -> dict:
+    """The RFC 8460 reporting pipeline over the delivery campaign:
+    clean and fault-seeded runs, each serial and threaded, with the
+    serial received-report JSONL and monitor window JSONL as the
+    byte-identity reference, plus a separately timed offline
+    re-ingestion of the serial clean report feed.  Aborts
+    (``RuntimeError``) on any divergence."""
+    from repro.core.reporting import ReportAggregator
+    from repro.obs.tlsrpt_monitor import TlsRptMonitor
+
+    print(f"tlsrpt pipeline (scale {scale}, {senders} senders x "
+          f"{messages} messages) ...", flush=True)
+    results = {}
+    clean_serial = None
+    for label, fault_seed in (("clean", None), ("faulted", 4242)):
+        config = DeliveryCampaignConfig(
+            scale=scale, seed=11, month_index=3, senders=senders,
+            messages_per_sender=messages, backpressure=20_000,
+            fault_seed=fault_seed, fault_rate=0.2, tlsrpt=True)
+        reference = None
+        for backend in ("serial", "threaded"):
+            started = time.perf_counter()
+            result = run_delivery_campaign(
+                config, backend=backend,
+                jobs=1 if backend == "serial" else jobs)
+            elapsed = time.perf_counter() - started
+            if backend == "serial":
+                reference = result
+                if label == "clean":
+                    clean_serial = result
+            else:
+                if (result.tlsrpt_reports_jsonl
+                        != reference.tlsrpt_reports_jsonl):
+                    raise RuntimeError(
+                        f"tlsrpt pipeline ({label}, threaded) report "
+                        f"feed diverged from the serial reference")
+                if (result.tlsrpt_monitor.to_jsonl()
+                        != reference.tlsrpt_monitor.to_jsonl()
+                        or result.ledger_digest
+                        != reference.ledger_digest):
+                    raise RuntimeError(
+                        f"tlsrpt pipeline ({label}, threaded) monitor "
+                        f"feed or ledger diverged from the serial "
+                        f"reference")
+            stats = result.stats
+            generation_rps = (stats.reports_generated
+                              / stats.deliver_seconds
+                              if stats.deliver_seconds else 0.0)
+            results[f"{label}-{backend}"] = {
+                "seconds": round(elapsed, 3),
+                "jobs": stats.jobs,
+                "waves": stats.waves,
+                "reports_generated": stats.reports_generated,
+                "reports_delivered": stats.reports_delivered,
+                "reports_bounced": stats.reports_bounced,
+                "reports_received": stats.reports_received,
+                "reports_missing_endpoint":
+                    stats.reports_missing_endpoint,
+                "reports_per_second": round(generation_rps, 1),
+            }
+            print(f"  {label}-{backend:<9s} {elapsed:6.2f}s  "
+                  f"{generation_rps:7.1f} reports/s  "
+                  f"{stats.reports_received} received", flush=True)
+
+    lines = [line for line
+             in clean_serial.tlsrpt_reports_jsonl.splitlines()
+             if line.strip()]
+    started = time.perf_counter()
+    aggregator = ReportAggregator()
+    for line in lines:
+        aggregator.ingest(line)
+    monitor = TlsRptMonitor()
+    monitor.observe_reports(aggregator.reports)
+    ingest_seconds = time.perf_counter() - started
+    ingest_rps = (len(aggregator.reports) / ingest_seconds
+                  if ingest_seconds else 0.0)
+    print(f"  ingest       {ingest_seconds:6.3f}s  "
+          f"{ingest_rps:7.1f} reports/s  "
+          f"({len(aggregator.reports)} reports, "
+          f"{len(monitor.records)} windows)", flush=True)
+
+    return {
+        "scale": scale,
+        "seed": 11,
+        "month_index": 3,
+        "senders": senders,
+        "messages_per_sender": messages,
+        "backpressure": 20_000,
+        "cpu_count": os.cpu_count() or 1,
+        "reports_identical_across_backends": True,
+        "generation_floor_rps": TLSRPT_GENERATION_FLOOR_RPS,
+        "ingest_floor_rps": TLSRPT_INGEST_FLOOR_RPS,
+        "ingest": {
+            "seconds": round(ingest_seconds, 3),
+            "reports": len(aggregator.reports),
+            "windows": len(monitor.records),
+            "malformed": aggregator.malformed,
+            "reports_per_second": round(ingest_rps, 1),
+        },
+        "results": results,
+    }
+
+
 def _policy_checker_section(scale: float, requests: int,
                             jobs: int) -> dict:
     """The ``repro serve`` replay: one serial million-request run for
@@ -420,6 +548,9 @@ def _wallclock_rows(report: dict) -> dict:
     checker = report.get("policy_checker") or {}
     for name, row in checker.get("results", {}).items():
         rows[name] = row["seconds"]
+    tlsrpt = report.get("tlsrpt_pipeline") or {}
+    for name, row in tlsrpt.get("results", {}).items():
+        rows[f"tlsrpt-{name}"] = row["seconds"]
     return rows
 
 
@@ -516,6 +647,20 @@ def main() -> int:
                              "messages at the default sender count)")
     parser.add_argument("--skip-delivery", action="store_true",
                         help="skip the delivery-engine section")
+    parser.add_argument("--tlsrpt-scale", type=float, default=0.1,
+                        metavar="SCALE",
+                        help="recipient-world scale for the TLSRPT "
+                             "pipeline section (default 0.1)")
+    parser.add_argument("--tlsrpt-senders", type=int, default=600,
+                        metavar="N",
+                        help="sender-domain count for the TLSRPT "
+                             "pipeline section (default 600)")
+    parser.add_argument("--tlsrpt-messages", type=int, default=6,
+                        metavar="N",
+                        help="messages per sender for the TLSRPT "
+                             "pipeline section (default 6)")
+    parser.add_argument("--skip-tlsrpt", action="store_true",
+                        help="skip the TLSRPT pipeline section")
     parser.add_argument("--serve-scale", type=float, default=0.02,
                         metavar="SCALE",
                         help="domain-world scale for the policy-checker "
@@ -623,6 +768,12 @@ def main() -> int:
             args.delivery_scale, args.delivery_senders,
             args.delivery_messages, args.jobs)
 
+    tlsrpt_section = None
+    if not args.skip_tlsrpt:
+        tlsrpt_section = _tlsrpt_pipeline_section(
+            args.tlsrpt_scale, args.tlsrpt_senders,
+            args.tlsrpt_messages, args.jobs)
+
     serve_section = None
     if not args.skip_serve:
         serve_section = _policy_checker_section(
@@ -691,6 +842,7 @@ def main() -> int:
         "profile": profile_report,
         "process_backend": process_section,
         "delivery_engine": delivery_section,
+        "tlsrpt_pipeline": tlsrpt_section,
         "policy_checker": serve_section,
         "results": results,
     }
@@ -714,6 +866,27 @@ def main() -> int:
               f"{'FAIL' if violated else 'ok'}")
         if violated:
             bar_failures.append("delivery/clean-serial-throughput")
+    if tlsrpt_section is not None:
+        # Like the delivery bar, the TLSRPT bars are absolute rates:
+        # report generation (serial clean campaign) and offline
+        # re-ingestion of the saved feed.
+        gen_rps = tlsrpt_section["results"]["clean-serial"][
+            "reports_per_second"]
+        violated = gen_rps < TLSRPT_GENERATION_FLOOR_RPS
+        print(f"throughput bar [tlsrpt/clean-serial]: "
+              f"{gen_rps:.0f} reports/s "
+              f"(floor {TLSRPT_GENERATION_FLOOR_RPS:.0f}) "
+              f"{'FAIL' if violated else 'ok'}")
+        if violated:
+            bar_failures.append("tlsrpt/clean-serial-generation")
+        ingest_rps = tlsrpt_section["ingest"]["reports_per_second"]
+        violated = ingest_rps < TLSRPT_INGEST_FLOOR_RPS
+        print(f"throughput bar [tlsrpt/ingest]: "
+              f"{ingest_rps:.0f} reports/s "
+              f"(floor {TLSRPT_INGEST_FLOOR_RPS:.0f}) "
+              f"{'FAIL' if violated else 'ok'}")
+        if violated:
+            bar_failures.append("tlsrpt/ingest")
     if serve_section is not None:
         serial_row = serve_section["results"]["serve-serial"]
         rps = serial_row["requests_per_second"]

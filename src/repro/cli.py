@@ -37,13 +37,24 @@
 * ``campaign deliver [--scale S] [--senders N --messages-per-sender M]
   [--backend serial|threaded --jobs N] [--backpressure N]
   [--wakeup-seconds S] [--fault-seed N --fault-rate R]
-  [--ledger-out FILE] [--metrics-out FILE] [--progress]
-  [--state-dir DIR [--resume]]`` — run the campaign-scale delivery
-  engine: a §6.2-profiled sender population queues messages against
-  the materialised world under per-delivery MTA-STS enforcement,
-  emitting a canonical delivery ledger, per-wave metrics, and a
-  delivery health report (exit 1 on any ALERT; serial and threaded
-  backends are byte-identical);
+  [--ledger-out FILE] [--metrics-out FILE] [--tlsrpt-out DIR]
+  [--progress] [--state-dir DIR [--resume]]`` — run the
+  campaign-scale delivery engine: a §6.2-profiled sender population
+  queues messages against the materialised world under per-delivery
+  MTA-STS enforcement, emitting a canonical delivery ledger, per-wave
+  metrics, and a delivery health report (exit 1 on any ALERT; serial
+  and threaded backends are byte-identical; with ``--tlsrpt-out``,
+  the senders additionally run the RFC 8460 reporting pipeline —
+  daily aggregate reports delivered to each recipient's published
+  ``rua`` endpoints through the simulated world — and the received
+  reports plus the operator-side ingestion monitor's window JSONL
+  are written into DIR);
+* ``tlsrpt <FILE|DIR> [--monitor-out FILE]`` — ingest a saved TLSRPT
+  report feed (``reports.jsonl``, or a directory holding one as
+  written by ``campaign deliver --tlsrpt-out``) and print the
+  operator census — reports, sessions, failures by RFC 8460 result
+  type, top failing sending MTAs — plus the per-window health
+  report (exit 1 on any ALERT, exit 2 when no reports exist);
 * ``serve [--scale S] [--requests N --batch-size B]
   [--month M --months K] [--backend serial|threaded --jobs N]
   [--ttl-seconds T --min-ttl-seconds T] [--zipf-s S]
@@ -360,15 +371,23 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_campaign_deliver(args) -> int:
+    import os
+
     from repro.errors import StoreCorruption
-    from repro.fsutil import atomic_write_text
+    from repro.fsutil import atomic_write_text, ensure_dir
     from repro.measurement.delivery_campaign import (
         DeliveryCampaignConfig, run_delivery_campaign,
     )
     from repro.obs.monitor import ALERT, DeliveryThresholds
+    from repro.obs.tlsrpt_monitor import TlsRptThresholds
 
     if args.resume and not args.state_dir:
         print("error: --resume requires --state-dir", file=sys.stderr)
+        return 2
+    if args.tlsrpt_out and args.state_dir:
+        print("error: --tlsrpt-out cannot be combined with --state-dir "
+              "(received-report state is not part of the wave "
+              "checkpoint)", file=sys.stderr)
         return 2
     thresholds = DeliveryThresholds()
     for name in ("bounce_rate_alert", "plaintext_rate_warn",
@@ -376,6 +395,11 @@ def _cmd_campaign_deliver(args) -> int:
         value = getattr(args, name, None)
         if value is not None:
             setattr(thresholds, name, value)
+    tlsrpt_thresholds = TlsRptThresholds()
+    for name in ("failure_rate_warn", "failure_rate_alert"):
+        value = getattr(args, "tlsrpt_" + name, None)
+        if value is not None:
+            setattr(tlsrpt_thresholds, name, value)
     progress = None
     if args.progress:
         from repro.obs.progress import ProgressPrinter
@@ -388,11 +412,13 @@ def _cmd_campaign_deliver(args) -> int:
             sender_seed=args.sender_seed,
             backpressure=args.backpressure,
             wakeup_seconds=args.wakeup_seconds,
-            fault_seed=args.fault_seed, fault_rate=args.fault_rate)
+            fault_seed=args.fault_seed, fault_rate=args.fault_rate,
+            tlsrpt=bool(args.tlsrpt_out))
         result = run_delivery_campaign(
             config, backend=args.backend, jobs=args.jobs,
             progress=progress, thresholds=thresholds,
-            state_dir=args.state_dir, resume=args.resume)
+            state_dir=args.state_dir, resume=args.resume,
+            tlsrpt_thresholds=tlsrpt_thresholds)
     except (StoreCorruption, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -415,6 +441,70 @@ def _cmd_campaign_deliver(args) -> int:
           f"peak queue depth {stats.queue_depth_peak:,}")
     print(f"  ledger sha256 {result.ledger_digest}")
     report = result.health()
+    print(report.render())
+    exit_code = 1 if report.level == ALERT else 0
+    if args.tlsrpt_out:
+        out_dir = ensure_dir(args.tlsrpt_out)
+        reports_path = os.path.join(out_dir, "reports.jsonl")
+        atomic_write_text(reports_path, result.tlsrpt_reports_jsonl)
+        monitor_path = os.path.join(out_dir, "monitor.jsonl")
+        result.tlsrpt_monitor.write_jsonl(monitor_path)
+        print(f"tlsrpt: {stats.reports_generated:,} report(s) generated, "
+              f"{stats.reports_delivered:,} delivered "
+              f"({stats.reports_bounced:,} bounced, "
+              f"{stats.reports_missing_endpoint:,} without a published "
+              f"rua), {stats.reports_received:,} received "
+              f"-> {reports_path}")
+        tlsrpt_report = result.tlsrpt_monitor.health()
+        print(tlsrpt_report.render())
+        if tlsrpt_report.level == ALERT:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_tlsrpt(args) -> int:
+    import os
+
+    from repro.core.reporting import ReportAggregator
+    from repro.obs.monitor import ALERT
+    from repro.obs.tlsrpt_monitor import (
+        TOP_FAILING_MTAS, TlsRptMonitor, TlsRptThresholds,
+    )
+
+    path = args.reports
+    if os.path.isdir(path):
+        path = os.path.join(path, "reports.jsonl")
+    if not os.path.exists(path):
+        print(f"error: {path}: no TLSRPT reports found", file=sys.stderr)
+        return 2
+    aggregator = ReportAggregator()
+    for line in _read_text(path).splitlines():
+        if line.strip():
+            aggregator.ingest(line)
+    thresholds = TlsRptThresholds()
+    for name in ("failure_rate_warn", "failure_rate_alert"):
+        value = getattr(args, name, None)
+        if value is not None:
+            setattr(thresholds, name, value)
+    monitor = TlsRptMonitor(thresholds)
+    monitor.observe_reports(aggregator.reports)
+    census = aggregator.census()
+    print(f"tlsrpt: {census['reports']:,} report(s) covering "
+          f"{census['domains']:,} domain(s), "
+          f"{census['sessions']:,} session(s) "
+          f"({census['failed_sessions']:,} failed), "
+          f"{census['malformed']} malformed submission(s)")
+    for rtype, count in census["failures_by_result_type"].items():
+        print(f"  {rtype:<28}: {count}")
+    top = monitor.failing_mtas()
+    if top:
+        print("  top failing sending MTAs:")
+        for org, count in top[:TOP_FAILING_MTAS]:
+            print(f"    {org:<26}: {count} failed session(s)")
+    if args.monitor_out:
+        records = monitor.write_jsonl(args.monitor_out)
+        print(f"window metrics: {records} records -> {args.monitor_out}")
+    report = monitor.health()
     print(report.render())
     return 1 if report.level == ALERT else 0
 
@@ -819,7 +909,46 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="refused_rate_warn", metavar="R",
                          help="WARN when the cumulative policy-refusal "
                               "share of attempts exceeds R")
+    deliver.add_argument("--tlsrpt-out", default=None, metavar="DIR",
+                         dest="tlsrpt_out",
+                         help="run the RFC 8460 reporting pipeline "
+                              "alongside delivery and write the "
+                              "received reports (reports.jsonl) and "
+                              "ingestion-monitor windows "
+                              "(monitor.jsonl) into DIR")
+    deliver.add_argument("--tlsrpt-failure-rate-warn", type=_rate,
+                         default=None, dest="tlsrpt_failure_rate_warn",
+                         metavar="R",
+                         help="WARN when a reporting window's failed "
+                              "session share exceeds R")
+    deliver.add_argument("--tlsrpt-failure-rate-alert", type=_rate,
+                         default=None, dest="tlsrpt_failure_rate_alert",
+                         metavar="R",
+                         help="ALERT when a reporting window's failed "
+                              "session share exceeds R")
     deliver.set_defaults(handler=_cmd_campaign_deliver)
+
+    tlsrpt = sub.add_parser(
+        "tlsrpt",
+        help="ingest a saved TLSRPT report feed and print the operator "
+             "census and health")
+    tlsrpt.add_argument("reports",
+                        help="reports.jsonl file, or a directory "
+                             "containing one (as written by campaign "
+                             "deliver --tlsrpt-out)")
+    tlsrpt.add_argument("--monitor-out", default=None, metavar="FILE",
+                        dest="monitor_out",
+                        help="write the rebuilt per-window monitor "
+                             "JSONL to FILE")
+    tlsrpt.add_argument("--failure-rate-warn", type=_rate, default=None,
+                        dest="failure_rate_warn", metavar="R",
+                        help="WARN when a reporting window's failed "
+                             "session share exceeds R")
+    tlsrpt.add_argument("--failure-rate-alert", type=_rate, default=None,
+                        dest="failure_rate_alert", metavar="R",
+                        help="ALERT when a reporting window's failed "
+                             "session share exceeds R")
+    tlsrpt.set_defaults(handler=_cmd_tlsrpt)
 
     serve = sub.add_parser(
         "serve",

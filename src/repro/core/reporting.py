@@ -3,150 +3,51 @@
 TLSRPT lets receiving domains learn why senders' TLS negotiations or
 MTA-STS/DANE validations fail.  The paper observes that while many
 domains *publish* TLSRPT records (Figure 12), only two major providers
-actually *send* reports.  This module implements the sending side in
-full so the reproduction's compliant senders can be among them:
+actually *send* reports.  This module implements both halves so the
+reproduction's compliant senders can be among them:
 
-* :class:`FailureDetail` / :class:`PolicySummary` / :class:`TlsReport`
-  — the RFC 8460 report data model (JSON-renderable);
+* :class:`~repro.core.tlsrpt.FailureDetail` /
+  :class:`~repro.core.tlsrpt.PolicySummary` /
+  :class:`~repro.core.tlsrpt.TlsRptReport` — the RFC 8460 report data
+  model (JSON-renderable), re-exported here (``TlsReport`` is the
+  historical alias);
 * :class:`ReportCollector` — accumulates per-recipient-domain session
   results inside a sending MTA over a reporting window;
 * :class:`ReportSubmitter` — delivers finished reports to the
   ``rua`` endpoints of the recipient's TLSRPT record, via mail
   (``mailto:``) or HTTPS POST (``https:``);
 * :class:`ReportInbox` — the receiving side, for tests and the
-  ecosystem's report-consuming domains.
+  ecosystem's report-consuming domains;
+* :class:`ReportAggregator` — the operator-side ingestion point that
+  collects received reports per policy domain (fed by the delivery
+  campaign's mailbox sweep and the ``repro tlsrpt`` CLI).
 """
 
 from __future__ import annotations
 
-import enum
 import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.clock import DAY, Clock, Instant
-from repro.core.tlsrpt import TlsRptRecord, lookup_tlsrpt
+from repro.core.tlsrpt import (
+    FailureDetail, PolicySummary, ResultType, TlsRptRecord, TlsRptReport,
+    lookup_tlsrpt,
+)
 from repro.dns.name import canonical_host
 from repro.dns.resolver import Resolver
 
+#: Historical name — the report model now lives in
+#: :mod:`repro.core.tlsrpt` next to the record parser.
+TlsReport = TlsRptReport
 
-class ResultType(enum.Enum):
-    """RFC 8460 §4.3 result types (the subset MTA-STS senders emit)."""
-
-    STARTTLS_NOT_SUPPORTED = "starttls-not-supported"
-    CERTIFICATE_HOST_MISMATCH = "certificate-host-mismatch"
-    CERTIFICATE_EXPIRED = "certificate-expired"
-    CERTIFICATE_NOT_TRUSTED = "certificate-not-trusted"
-    VALIDATION_FAILURE = "validation-failure"
-    STS_POLICY_FETCH_ERROR = "sts-policy-fetch-error"
-    STS_POLICY_INVALID = "sts-policy-invalid"
-    STS_WEBPKI_INVALID = "sts-webpki-invalid"
-
-
-@dataclass
-class FailureDetail:
-    """One failure class observed against one receiving MX."""
-
-    result_type: ResultType
-    receiving_mx_hostname: str = ""
-    failed_session_count: int = 0
-    additional_info: str = ""
-
-    def to_json_dict(self) -> dict:
-        out = {"result-type": self.result_type.value,
-               "failed-session-count": self.failed_session_count}
-        if self.receiving_mx_hostname:
-            out["receiving-mx-hostname"] = self.receiving_mx_hostname
-        if self.additional_info:
-            out["additional-information"] = self.additional_info
-        return out
-
-
-@dataclass
-class PolicySummary:
-    """Per-policy result block (RFC 8460 §4.4)."""
-
-    policy_type: str                  # "sts" | "tlsa" | "no-policy-found"
-    policy_domain: str
-    policy_strings: Tuple[str, ...] = ()
-    total_successful_sessions: int = 0
-    total_failed_sessions: int = 0
-    failure_details: List[FailureDetail] = field(default_factory=list)
-
-    def to_json_dict(self) -> dict:
-        return {
-            "policy": {
-                "policy-type": self.policy_type,
-                "policy-domain": self.policy_domain,
-                "policy-string": list(self.policy_strings),
-            },
-            "summary": {
-                "total-successful-session-count":
-                    self.total_successful_sessions,
-                "total-failure-session-count": self.total_failed_sessions,
-            },
-            "failure-details": [d.to_json_dict()
-                                for d in self.failure_details],
-        }
-
-
-@dataclass
-class TlsReport:
-    """A complete RFC 8460 report for one (sender, recipient, day)."""
-
-    organization_name: str
-    contact_info: str
-    report_id: str
-    window_start: Instant
-    window_end: Instant
-    policies: List[PolicySummary] = field(default_factory=list)
-
-    def to_json(self) -> str:
-        body = {
-            "organization-name": self.organization_name,
-            "date-range": {
-                "start-datetime": str(self.window_start),
-                "end-datetime": str(self.window_end),
-            },
-            "contact-info": self.contact_info,
-            "report-id": self.report_id,
-            "policies": [p.to_json_dict() for p in self.policies],
-        }
-        return json.dumps(body, indent=2, sort_keys=True)
-
-    @classmethod
-    def from_json(cls, text: str) -> "TlsReport":
-        data = json.loads(text)
-        policies = []
-        for block in data.get("policies", []):
-            policy = block["policy"]
-            summary = block["summary"]
-            details = [
-                FailureDetail(
-                    result_type=ResultType(d["result-type"]),
-                    receiving_mx_hostname=d.get("receiving-mx-hostname", ""),
-                    failed_session_count=d["failed-session-count"],
-                    additional_info=d.get("additional-information", ""))
-                for d in block.get("failure-details", [])]
-            policies.append(PolicySummary(
-                policy_type=policy["policy-type"],
-                policy_domain=policy["policy-domain"],
-                policy_strings=tuple(policy.get("policy-string", ())),
-                total_successful_sessions=summary[
-                    "total-successful-session-count"],
-                total_failed_sessions=summary[
-                    "total-failure-session-count"],
-                failure_details=details))
-        return cls(
-            organization_name=data["organization-name"],
-            contact_info=data["contact-info"],
-            report_id=data["report-id"],
-            window_start=Instant.parse(
-                data["date-range"]["start-datetime"].rstrip("Z")),
-            window_end=Instant.parse(
-                data["date-range"]["end-datetime"].rstrip("Z")),
-            policies=policies)
+__all__ = [
+    "ResultType", "FailureDetail", "PolicySummary", "TlsRptReport",
+    "TlsReport", "ReportCollector", "ReportInbox", "SubmissionResult",
+    "ReportSubmitter", "ReportAggregator",
+    "result_type_for_fetch_stage", "result_type_for_tls_failure",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -167,7 +68,7 @@ class ReportCollector:
 
     A sending MTA records one entry per delivery attempt; the collector
     rolls a 24-hour window (RFC 8460 reports are daily) and emits
-    :class:`TlsReport` objects on :meth:`close_window`.
+    :class:`TlsRptReport` objects on :meth:`close_window`.
     """
 
     def __init__(self, organization: str, contact: str, clock: Clock):
@@ -195,9 +96,9 @@ class ReportCollector:
     def window_expired(self) -> bool:
         return self._clock.now() - self._window_start >= DAY
 
-    def close_window(self) -> List[TlsReport]:
+    def close_window(self) -> List[TlsRptReport]:
         """Emit one report per recipient domain and reset the window."""
-        reports: List[TlsReport] = []
+        reports: List[TlsRptReport] = []
         window_end = self._clock.now()
         for domain, tally in sorted(self._tallies.items()):
             if not tally.successes and not tally.failures:
@@ -217,7 +118,7 @@ class ReportCollector:
                 total_successful_sessions=tally.successes,
                 total_failed_sessions=sum(tally.failures.values()),
                 failure_details=details)
-            reports.append(TlsReport(
+            reports.append(TlsRptReport(
                 organization_name=self.organization,
                 contact_info=self.contact,
                 report_id=(f"{self._window_start.date_string()}-"
@@ -244,11 +145,11 @@ class ReportInbox:
 
     def __init__(self, domain: str):
         self.domain = domain
-        self.received: List[TlsReport] = []
+        self.received: List[TlsRptReport] = []
 
     def submit(self, report_json: str) -> bool:
         try:
-            self.received.append(TlsReport.from_json(report_json))
+            self.received.append(TlsRptReport.from_json(report_json))
         except (KeyError, ValueError, json.JSONDecodeError):
             return False
         return True
@@ -275,7 +176,7 @@ class ReportSubmitter:
         self._mail = mail_transport
         self._https_inboxes = https_inboxes or {}
 
-    def submit_report(self, report: TlsReport) -> List[SubmissionResult]:
+    def submit_report(self, report: TlsRptReport) -> List[SubmissionResult]:
         domain = report.policies[0].policy_domain if report.policies else ""
         record = lookup_tlsrpt(self._resolver, domain) if domain else None
         if record is None:
@@ -286,7 +187,7 @@ class ReportSubmitter:
             results.append(self._submit_one(report, domain, endpoint))
         return results
 
-    def _submit_one(self, report: TlsReport, domain: str,
+    def _submit_one(self, report: TlsRptReport, domain: str,
                     endpoint: str) -> SubmissionResult:
         if endpoint.startswith("mailto:"):
             if self._mail is None:
@@ -312,6 +213,66 @@ class ReportSubmitter:
 
 
 # ---------------------------------------------------------------------------
+# Operator-side aggregation
+# ---------------------------------------------------------------------------
+
+class ReportAggregator:
+    """Ingests received reports, indexed per recipient policy domain.
+
+    This is the operator side of the RFC 8460 loop: reports arrive via
+    any channel (mailbox sweep, HTTPS collector, a saved report dir)
+    and the aggregator gives downstream consumers —
+    :class:`repro.obs.tlsrpt_monitor.TlsRptMonitor`, the verdict-driven
+    repair planner — one indexed view of them.  Malformed submissions
+    are counted, never raised.
+    """
+
+    def __init__(self):
+        self.reports: List[TlsRptReport] = []
+        self.by_domain: Dict[str, List[TlsRptReport]] = defaultdict(list)
+        self.malformed = 0
+
+    def ingest(self, report_json: str) -> Optional[TlsRptReport]:
+        """Parse and add one submitted report body."""
+        try:
+            report = TlsRptReport.from_json(report_json)
+        except (KeyError, ValueError, json.JSONDecodeError):
+            self.malformed += 1
+            return None
+        self.add(report)
+        return report
+
+    def add(self, report: TlsRptReport) -> None:
+        self.reports.append(report)
+        for summary in report.policies:
+            self.by_domain[canonical_host(
+                summary.policy_domain)].append(report)
+
+    def census(self) -> Dict[str, object]:
+        """Integer totals over everything ingested so far."""
+        sessions = successes = failures = 0
+        by_result: Dict[str, int] = {}
+        for report in self.reports:
+            for summary in report.policies:
+                successes += summary.total_successful_sessions
+                failures += summary.total_failed_sessions
+                for detail in summary.failure_details:
+                    key = detail.result_type.value
+                    by_result[key] = (by_result.get(key, 0)
+                                      + detail.failed_session_count)
+        sessions = successes + failures
+        return {
+            "reports": len(self.reports),
+            "domains": len(self.by_domain),
+            "malformed": self.malformed,
+            "sessions": sessions,
+            "successful_sessions": successes,
+            "failed_sessions": failures,
+            "failures_by_result_type": dict(sorted(by_result.items())),
+        }
+
+
+# ---------------------------------------------------------------------------
 # Mapping sender events to result types
 # ---------------------------------------------------------------------------
 
@@ -319,6 +280,11 @@ def result_type_for_fetch_stage(stage: str) -> ResultType:
     """Map a policy-fetch failure stage onto RFC 8460's vocabulary."""
     if stage == "policy-syntax":
         return ResultType.STS_POLICY_INVALID
+    if stage == "tls":
+        # The policy host presented a certificate the web PKI rejects —
+        # RFC 8460 §4.3.2's dedicated result type, not a generic fetch
+        # error.
+        return ResultType.STS_WEBPKI_INVALID
     return ResultType.STS_POLICY_FETCH_ERROR
 
 

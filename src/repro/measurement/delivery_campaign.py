@@ -46,6 +46,25 @@ manifest) plus a checkpoint of every lane's workload cursor, pending
 queue entries, and serialised policy cache; the manifest write is the
 commit point, and a resumed campaign replays to the byte-identical
 ledger a single run would have written.
+
+With ``tlsrpt=True`` the campaign additionally runs the full RFC 8460
+reporting pipeline: every lane's sender feeds a per-lane
+:class:`~repro.core.reporting.ReportCollector` (policy fetch errors,
+certificate failures, plaintext downgrades, successes), the
+coordinator closes each collector's window at virtual-day boundaries
+(and once more when the message workload drains), and finished reports
+travel through the simulated world to each recipient's published
+``rua`` endpoints — ``mailto:`` through a second per-lane
+:class:`~repro.smtp.queue.MailQueue` over the lane's protocol-only
+transport (so report delivery itself faces the fault layer and
+retries; RFC 8460 §3 forbids gating report mail on the very policies
+being reported on), ``https:`` through injected
+:class:`~repro.core.reporting.ReportInbox` collectors.  After the
+campaign a mailbox sweep over the canonically sorted recipient world
+feeds a :class:`~repro.core.reporting.ReportAggregator` and a
+:class:`~repro.obs.tlsrpt_monitor.TlsRptMonitor`, whose received
+report set, window JSONL, and health findings are byte-identical
+between backends, clean and fault-seeded.
 """
 
 from __future__ import annotations
@@ -57,12 +76,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.clock import Clock, Duration, Instant
+from repro.clock import DAY, Clock, Duration, Instant
 from repro.core.cache import PolicyCache
 from repro.core.dane import DaneValidator
 from repro.core.fetch import PolicyFetcher
 from repro.core.refresh import RefreshDaemon
+from repro.core.reporting import ReportAggregator, ReportCollector
 from repro.core.sender import MtaStsSender, SenderPolicyConfig
+from repro.core.tlsrpt import ResultType, TlsRptReport, lookup_tlsrpt
 from repro.ecosystem.population import PopulationConfig, partition_names
 from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
 from repro.errors import StoreCorruption
@@ -74,8 +95,10 @@ from repro.measurement.store_io import MANIFEST_NAME, shard_digest
 from repro.netsim.network import FaultPlan
 from repro.obs.monitor import DeliveryMonitor, DeliveryThresholds, WaveRecord
 from repro.obs.progress import ProgressTracker
-from repro.smtp.delivery import DeliveryStatus, Message
+from repro.obs.tlsrpt_monitor import TlsRptMonitor, TlsRptThresholds
+from repro.smtp.delivery import DeliveryStatus, Message, SendingMta
 from repro.smtp.queue import MailQueue, QueueEntry, QueueOutcome
+from repro.smtp.server import SMTP_PORT
 from repro.trace import MetricsRegistry
 
 __all__ = [
@@ -114,6 +137,9 @@ class DeliveryCampaignConfig:
     wakeup_seconds: int = 900      # wake-up batching granularity
     fault_seed: Optional[int] = None
     fault_rate: float = 0.2
+    #: Run the RFC 8460 reporting pipeline alongside delivery (daily
+    #: collector windows, report transport, mailbox-sweep ingestion).
+    tlsrpt: bool = False
 
     def __post_init__(self) -> None:
         if self.senders < 1:
@@ -165,6 +191,12 @@ class DeliveryStats:
     bounced: int = 0
     attempts: int = 0
     queue_depth_peak: int = 0
+    reports_generated: int = 0
+    reports_delivered: int = 0
+    reports_bounced: int = 0
+    reports_received: int = 0
+    report_attempts: int = 0
+    reports_missing_endpoint: int = 0
     dns_queries: int = 0
     connects: int = 0
     faults_injected: int = 0
@@ -203,10 +235,23 @@ class DeliveryResult:
     ledger_text: str
     monitor: DeliveryMonitor
     total_registry: MetricsRegistry
+    #: Received TLSRPT reports (mailbox sweep, canonically sorted) —
+    #: empty unless the campaign ran with ``tlsrpt=True``.
+    tlsrpt_reports: List[TlsRptReport] = field(default_factory=list)
+    tlsrpt_monitor: Optional[TlsRptMonitor] = None
+    tlsrpt_aggregator: Optional[ReportAggregator] = None
 
     @property
     def ledger_digest(self) -> str:
         return shard_digest(self.ledger_text)
+
+    @property
+    def tlsrpt_reports_jsonl(self) -> str:
+        """Canonical JSONL of the received report set — one compact
+        sorted-key report per line, the cross-backend identity
+        surface."""
+        return "".join(report.to_canonical_json() + "\n"
+                       for report in self.tlsrpt_reports)
 
     def health(self):
         return self.monitor.health()
@@ -244,16 +289,41 @@ class _SenderLane:
             prefer_mta_sts_over_dane=profile.prefers_sts_over_dane,
             require_pkix_always=profile.require_pkix)
         dane = DaneValidator(world.resolver, world.dnssec)
+        self.collector: Optional[ReportCollector] = None
+        if config.tlsrpt:
+            self.collector = ReportCollector(
+                self.identity, f"tlsrpt@{self.identity}", world.clock)
         self.sender = MtaStsSender(
             self.identity, world.network, world.resolver,
             world.trust_store, world.clock, fetcher,
-            config=sender_config, dane=dane, record_events=False)
+            config=sender_config, dane=dane, reporter=self.collector,
+            record_events=False)
         self.sender._mta.opportunistic_tls = profile.uses_tls
         self.refresh = RefreshDaemon(self.sender.cache, fetcher,
                                      world.clock)
         self.queue = MailQueue(self.sender, world.clock,
                                capacity=config.backpressure,
                                on_attempt=self._on_attempt)
+        self.report_queue: Optional[MailQueue] = None
+        if config.tlsrpt:
+            # Reports ride a dedicated protocol-only transport: RFC 8460
+            # §3 — report delivery must not be gated on the policies it
+            # reports on — but the fault layer still applies, so report
+            # mail can fail and retry like any other.  The lane's
+            # ``sender._mta`` would NOT do: the MTA-STS sender installs
+            # its security gate (and reporter hooks) on that transport,
+            # so report deliveries to a broken recipient would tally
+            # fresh failures into the very collector being flushed —
+            # each daily window would mint a new report about the
+            # previous report's delivery, and the campaign would never
+            # drain.
+            report_mta = SendingMta(
+                self.identity, world.network, world.resolver,
+                world.trust_store, world.clock)
+            report_mta.opportunistic_tls = profile.uses_tls
+            self.report_queue = MailQueue(report_mta, world.clock,
+                                          on_attempt=self._on_report_attempt)
+        self._resolver = world.resolver
         self._clock = world.clock
         self._mech_by_seq: Dict[object, str] = {}
         self._wave_counters: Dict[str, int] = {}
@@ -271,22 +341,66 @@ class _SenderLane:
             self._bump("deliver.refused_attempts")
         if attempt.delivered:
             self._mech_by_seq[entry.tag] = self.sender.last_mechanism
+        if (self.collector is not None
+                and attempt.status is DeliveryStatus.DELIVERED_PLAINTEXT):
+            # The sender's reporter hooks cover policy-fetch and PKIX
+            # failures; the plaintext downgrade is only visible here,
+            # via the per-MX attempt trail.
+            mx_hostname = next(
+                (mx.mx_hostname for mx in attempt.attempts
+                 if mx.connected and not mx.starttls), "")
+            self.collector.record_failure(
+                entry.message.recipient_domain,
+                ResultType.STARTTLS_NOT_SUPPORTED,
+                mx_hostname=mx_hostname,
+                detail="delivered without STARTTLS")
+
+    def _on_report_attempt(self, entry: QueueEntry, attempt) -> None:
+        self._bump("tlsrpt.attempts")
 
     # -- one wave ------------------------------------------------------
 
-    def run_wave(self, selected: Sequence[int], now: Instant
-                 ) -> Tuple[List[dict], Dict[str, int]]:
+    def run_wave(self, selected: Sequence[int], now: Instant,
+                 *, flush_reports: bool = False,
+                 https_inboxes: Optional[Dict[str, object]] = None,
+                 ) -> Tuple[List[dict], Dict[str, int],
+                            List[TlsRptReport]]:
         """Refresh the cache, submit this wave's admissions, retry
-        everything due, and return (finalised rows, counter deltas)."""
-        for result in self.refresh.run_once():
-            self._bump("policy.refresh_"
-                       + result.action.replace("-", "_"))
+        everything due (messages and reports), optionally close the
+        reporting window, and return (finalised rows, counter deltas,
+        reports generated this wave)."""
+        # In tlsrpt mode the refresher only runs while the lane still
+        # has message work: bounced reports retry for up to five
+        # virtual days past the last message, and keeping every lane's
+        # policy cache warm through that tail is thousands of pointless
+        # re-fetches per campaign.  (Without tlsrpt the campaign ends
+        # at the last message wave, so the gate changes nothing.)
+        if (self.report_queue is None or selected
+                or any(entry.active for entry in self.queue.entries)):
+            for result in self.refresh.run_once():
+                self._bump("policy.refresh_"
+                           + result.action.replace("-", "_"))
         for seq in selected:
             message = Message(f"mailer@{self.identity}",
                               f"user{seq:05d}@{self.recipients[seq]}")
             self.queue.submit(message, tag=seq)
             self._bump("deliver.submitted")
         self.queue.run_due()
+
+        reports: List[TlsRptReport] = []
+        if self.report_queue is not None:
+            if flush_reports:
+                reports = self._flush_reports(https_inboxes or {})
+            self.report_queue.run_due()
+            still_pending: List[QueueEntry] = []
+            for entry in self.report_queue.entries:
+                if entry.active:
+                    still_pending.append(entry)
+                elif entry.outcome is QueueOutcome.DELIVERED:
+                    self._bump("tlsrpt.delivered")
+                else:
+                    self._bump("tlsrpt.bounced")
+            self.report_queue.entries = still_pending
 
         rows: List[dict] = []
         active: List[QueueEntry] = []
@@ -333,7 +447,40 @@ class _SenderLane:
 
         counters = self._wave_counters
         self._wave_counters = {}
-        return rows, counters
+        return rows, counters, reports
+
+    # -- TLSRPT window flush -------------------------------------------
+
+    def _flush_reports(self, https_inboxes: Dict[str, object]
+                       ) -> List[TlsRptReport]:
+        """Close the collector's window and hand every finished report
+        to the recipient's published ``rua`` endpoints."""
+        assert self.collector is not None
+        assert self.report_queue is not None
+        reports = self.collector.close_window()
+        for report in reports:
+            self._bump("tlsrpt.generated")
+            record = lookup_tlsrpt(self._resolver, report.policy_domain)
+            if record is None:
+                self._bump("tlsrpt.no_endpoint")
+                continue
+            body = report.to_canonical_json()
+            for endpoint in record.rua:
+                if endpoint.startswith("mailto:"):
+                    self.report_queue.submit(
+                        Message(f"tlsrpt@{self.identity}",
+                                endpoint[len("mailto:"):], body=body),
+                        tag=report.report_id)
+                    self._bump("tlsrpt.enqueued")
+                elif endpoint.startswith("https://"):
+                    inbox = https_inboxes.get(endpoint)
+                    if inbox is not None and inbox.submit(body):
+                        self._bump("tlsrpt.https_submitted")
+                    else:
+                        self._bump("tlsrpt.https_unreachable")
+                else:
+                    self._bump("tlsrpt.endpoint_unsupported")
+        return reports
 
     # -- checkpoint / resume -------------------------------------------
 
@@ -474,6 +621,37 @@ def _commit_wave(state_dir: str, config: DeliveryCampaignConfig,
 # The campaign driver
 # ---------------------------------------------------------------------------
 
+def _sweep_tlsrpt_reports(world, https_inboxes: Optional[Dict[str, object]],
+                          ) -> Tuple[List[TlsRptReport], int]:
+    """Collect every TLSRPT report the world received.
+
+    Walks every registered SMTP listener's mailbox (deterministic
+    endpoint order; provider-shared MX hosts included, which per-domain
+    handles would miss) for ``tls-reports@`` mail plus any injected
+    HTTPS inboxes, parses the bodies (counting malformed ones), and
+    returns the reports in canonical (policy domain, reporter, report
+    id) order — the same byte-identity ordering regardless of delivery
+    backend or the interleaving of report mail."""
+    parsed: List[TlsRptReport] = []
+    malformed = 0
+    for listener in world.network.listeners():
+        if listener.port != SMTP_PORT:
+            continue
+        for stored in getattr(listener.app, "mailbox", ()):
+            if not stored.recipient.startswith("tls-reports@"):
+                continue
+            try:
+                parsed.append(TlsRptReport.from_json(stored.body))
+            except (KeyError, ValueError):
+                malformed += 1
+    for endpoint in sorted(https_inboxes or {}):
+        inbox = https_inboxes[endpoint]
+        parsed.extend(getattr(inbox, "received", ()))
+    parsed.sort(key=lambda r: (r.policy_domain, r.organization_name,
+                               r.report_id))
+    return parsed, malformed
+
+
 def _resolve_jobs(jobs: int, lanes: int) -> int:
     if jobs <= 0:
         jobs = min(8, os.cpu_count() or 1)
@@ -487,7 +665,11 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
                           metrics_jsonl_path: Optional[str] = None,
                           state_dir: Optional[str] = None,
                           resume: bool = False,
-                          max_waves: Optional[int] = None
+                          max_waves: Optional[int] = None,
+                          tlsrpt_thresholds: Optional[
+                              TlsRptThresholds] = None,
+                          tlsrpt_https_inboxes: Optional[
+                              Dict[str, object]] = None,
                           ) -> DeliveryResult:
     """Run (or resume) one delivery campaign to completion.
 
@@ -505,6 +687,11 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
     """
     if backend not in ("serial", "threaded"):
         raise ValueError(f"unknown delivery backend {backend!r}")
+    if config.tlsrpt and state_dir is not None:
+        raise ValueError(
+            "tlsrpt reporting does not support durable state dirs yet: "
+            "received-report state (recipient mailboxes) is not part of "
+            "the wave checkpoint")
 
     build_started = time.perf_counter()
     timeline = EcosystemTimeline(TimelineConfig(
@@ -585,10 +772,19 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
     pool = (ThreadPoolExecutor(max_workers=len(shards))
             if backend == "threaded" and len(shards) > 1 else None)
     wave = start_wave
+    # TLSRPT window scheduling: the coordinator decides, single-
+    # threaded, which waves close the collectors' daily windows, so
+    # window membership is backend-independent like wave membership.
+    next_flush = world.clock.now() + DAY
+    final_flush_done = not config.tlsrpt
+    generated_reports: List[TlsRptReport] = []
     try:
         while True:
             now = world.clock.now()
             in_flight = sum(lane.queue.pending_count() for lane in lanes)
+            reports_in_flight = (
+                sum(lane.report_queue.pending_count() for lane in lanes)
+                if config.tlsrpt else 0)
             backlog = [lane for lane in lanes
                        if lane.next_seq < lane.total]
             # Coordinated admission: round-robin one message per sender
@@ -610,20 +806,29 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
                     if lane.next_seq < lane.total:
                         still_hungry.append(lane)
                 backlog = still_hungry
-            if not selected and in_flight == 0:
+            messages_done = not selected and in_flight == 0
+            if messages_done and final_flush_done and not reports_in_flight:
                 break
+            flush = config.tlsrpt and (
+                now >= next_flush
+                or (messages_done and not final_flush_done))
 
             def run_shard(shard_lanes: List[_SenderLane]
-                          ) -> Tuple[List[dict], Dict[str, int]]:
+                          ) -> Tuple[List[dict], Dict[str, int],
+                                     List[TlsRptReport]]:
                 rows: List[dict] = []
                 counters: Dict[str, int] = {}
+                reports: List[TlsRptReport] = []
                 for lane in shard_lanes:
-                    lane_rows, lane_counters = lane.run_wave(
-                        selected.get(lane.identity, ()), now)
+                    lane_rows, lane_counters, lane_reports = lane.run_wave(
+                        selected.get(lane.identity, ()), now,
+                        flush_reports=flush,
+                        https_inboxes=tlsrpt_https_inboxes)
                     rows.extend(lane_rows)
+                    reports.extend(lane_reports)
                     for key, value in lane_counters.items():
                         counters[key] = counters.get(key, 0) + value
-                return rows, counters
+                return rows, counters, reports
 
             if pool is not None:
                 outputs = list(pool.map(run_shard, shards))
@@ -632,12 +837,23 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
 
             # Barrier: merge per-lane integers, emit the wave's ledger
             # block in canonical (sender, seq) order.
-            rows = [row for shard_rows, _ in outputs for row in shard_rows]
+            rows = [row for shard_rows, _, _ in outputs
+                    for row in shard_rows]
             rows.sort(key=lambda row: (row["sender"], row["seq"]))
             registry = MetricsRegistry()
-            for _, counters in outputs:
+            for _, counters, _ in outputs:
                 for key in sorted(counters):
                     registry.count(key, counters[key])
+            if flush:
+                wave_reports = [report for _, _, shard_reports in outputs
+                                for report in shard_reports]
+                wave_reports.sort(
+                    key=lambda r: (r.organization_name, r.report_id))
+                generated_reports.extend(wave_reports)
+                if messages_done:
+                    final_flush_done = True
+                while next_flush <= now:
+                    next_flush = next_flush + DAY
             queue_depth = sum(lane.queue.pending_count() for lane in lanes)
             registry.count("deliver.queue_depth", queue_depth)
             registry.count("deliver.finalized", len(rows))
@@ -664,10 +880,26 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
             wakeups = [wakeup for lane in lanes
                        if (wakeup := lane.queue.next_wakeup(
                            granularity=granularity)) is not None]
+            if config.tlsrpt:
+                wakeups.extend(
+                    wakeup for lane in lanes
+                    if (wakeup := lane.report_queue.next_wakeup(
+                        granularity=granularity)) is not None)
+                if wakeups and not final_flush_done:
+                    # Day boundaries are wake-ups too: the clock never
+                    # jumps over a window close without flushing it
+                    # (after any flush wave next_flush > now, so this
+                    # never drags the clock backwards).
+                    wakeups.append(next_flush)
             if not wakeups:
-                if not backlog:
-                    break
-                continue
+                if backlog:
+                    continue
+                if not final_flush_done:
+                    # Message work drained this very wave; loop once
+                    # more so the coordinator closes the final
+                    # reporting window at the current instant.
+                    continue
+                break
             target = min(wakeups)
             if target > world.clock.now():
                 world.clock.advance_to(target)
@@ -677,6 +909,19 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
     deliver_seconds = time.perf_counter() - deliver_started
     if tracker is not None:
         tracker.finish()
+
+    tlsrpt_reports: List[TlsRptReport] = []
+    tlsrpt_aggregator: Optional[ReportAggregator] = None
+    tlsrpt_monitor: Optional[TlsRptMonitor] = None
+    if config.tlsrpt:
+        tlsrpt_reports, malformed = _sweep_tlsrpt_reports(
+            world, tlsrpt_https_inboxes)
+        tlsrpt_aggregator = ReportAggregator()
+        for report in tlsrpt_reports:
+            tlsrpt_aggregator.add(report)
+        tlsrpt_aggregator.malformed = malformed
+        tlsrpt_monitor = TlsRptMonitor(tlsrpt_thresholds)
+        tlsrpt_monitor.observe_reports(tlsrpt_reports)
 
     total_registry = MetricsRegistry()
     for record in monitor.records:
@@ -692,6 +937,12 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
         queue_depth_peak=max(
             (record.metrics.get("deliver.queue_depth")
              for record in monitor.records), default=0),
+        reports_generated=total_registry.get("tlsrpt.generated"),
+        reports_delivered=total_registry.get("tlsrpt.delivered"),
+        reports_bounced=total_registry.get("tlsrpt.bounced"),
+        reports_received=len(tlsrpt_reports),
+        report_attempts=total_registry.get("tlsrpt.attempts"),
+        reports_missing_endpoint=total_registry.get("tlsrpt.no_endpoint"),
         dns_queries=world.resolver.query_count,
         connects=world.network.connect_count,
         faults_injected=world.network.faults_injected,
@@ -699,4 +950,7 @@ def run_delivery_campaign(config: DeliveryCampaignConfig, *,
         deliver_seconds=deliver_seconds)
     return DeliveryResult(config=config, stats=stats,
                           ledger_text="".join(ledger_parts),
-                          monitor=monitor, total_registry=total_registry)
+                          monitor=monitor, total_registry=total_registry,
+                          tlsrpt_reports=tlsrpt_reports,
+                          tlsrpt_monitor=tlsrpt_monitor,
+                          tlsrpt_aggregator=tlsrpt_aggregator)

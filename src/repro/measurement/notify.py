@@ -68,12 +68,15 @@ class DisclosureCampaign:
             world.trust_store, world.clock)
 
     def notify(self, snapshot: DomainSnapshot) -> NotificationResult:
+        # The fallbacks chain *inside* the concatenation: a domain with
+        # no syntax errors gets the fetch-stage (or generic) body, not
+        # an empty suffix.
         message = Message(
             sender="research@netsecurelab.org",
             recipient=f"postmaster@{snapshot.domain}",
             body=("Your MTA-STS deployment appears misconfigured: "
-                  + ", ".join(snapshot.policy_syntax_errors)
-                  or snapshot.policy_fetch_stage or "see details"))
+                  + (", ".join(snapshot.policy_syntax_errors)
+                     or snapshot.policy_fetch_stage or "see details")))
         attempt = self._mta.send(message)
         if not attempt.delivered:
             return NotificationResult(snapshot.domain, False,
@@ -86,16 +89,54 @@ class DisclosureCampaign:
     def run(self, misconfigured: List[DomainSnapshot]) -> CampaignReport:
         report = CampaignReport(notified=len(misconfigured))
         for snapshot in misconfigured:
-            result = self.notify(snapshot)
-            if result.delivered:
-                report.delivered += 1
-                # Post-notification remediation (10% overall, §4.7) —
-                # conditioned on the mail actually arriving.
-                if self._rng.random() < REMEDIATION_RATE / (
-                        1 - BOUNCE_RATE_FLOOR):
-                    result.remediated = True
-                    report.remediated += 1
-            else:
-                report.bounced += 1
-            report.results.append(result)
+            self._tally(report, self.notify(snapshot))
         return report
+
+    # -- TLSRPT-driven notifications ----------------------------------
+
+    def notify_verdict(self, verdict) -> NotificationResult:
+        """One notification triggered by received TLSRPT reports (a
+        :class:`repro.obs.tlsrpt_monitor.TlsRptVerdict`) instead of an
+        active rescan — the loop ROADMAP item 1 asks to close."""
+        message = Message(
+            sender="research@netsecurelab.org",
+            recipient=f"postmaster@{verdict.policy_domain}",
+            body=(f"TLSRPT reports show {verdict.failed_sessions} failed "
+                  f"session(s) to your domain: "
+                  f"{verdict.result_type.value}"))
+        attempt = self._mta.send(message)
+        if not attempt.delivered:
+            return NotificationResult(verdict.policy_domain, False,
+                                      bounce_reason=attempt.status.value)
+        if self._rng.random() < self._extra_bounce_rate:
+            return NotificationResult(verdict.policy_domain, False,
+                                      bounce_reason="mailbox-level bounce")
+        return NotificationResult(verdict.policy_domain, True)
+
+    def run_from_verdicts(self, verdicts) -> CampaignReport:
+        """Notify each domain named by a TLSRPT verdict feed (one mail
+        per domain, covering its worst verdict)."""
+        by_domain: Dict[str, object] = {}
+        for verdict in verdicts:
+            current = by_domain.get(verdict.policy_domain)
+            if (current is None
+                    or verdict.failed_sessions > current.failed_sessions):
+                by_domain[verdict.policy_domain] = verdict
+        report = CampaignReport(notified=len(by_domain))
+        for domain in sorted(by_domain):
+            self._tally(report, self.notify_verdict(by_domain[domain]))
+        return report
+
+    def _tally(self, report: CampaignReport,
+               result: NotificationResult) -> None:
+        if result.delivered:
+            report.delivered += 1
+            # Post-notification remediation (10% overall, §4.7) —
+            # conditioned on the mail actually arriving.
+            if self._rng.random() < REMEDIATION_RATE / (
+                    1 - BOUNCE_RATE_FLOOR):
+                result.remediated = True
+                report.remediated += 1
+        else:
+            report.bounced += 1
+        report.results.append(result)

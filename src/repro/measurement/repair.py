@@ -101,6 +101,73 @@ def plan_repairs(snap: DomainSnapshot) -> List[RepairAction]:
     return sorted(actions, key=lambda a: (a.priority, a.component))
 
 
+#: RFC 8460 result types → the repair verb that addresses them.  Keys
+#: are the enum *values* so the mapping stays importable without the
+#: reporting module.
+_VERDICT_ACTIONS = {
+    "sts-policy-invalid": (
+        1, "policy", "fix-policy-syntax",
+        "repair the policy body; senders report sts-policy-invalid"),
+    "sts-policy-fetch-error": (
+        1, "policy-host", "serve-policy-file",
+        "serve the policy file over HTTPS; senders report "
+        "sts-policy-fetch-error"),
+    "sts-webpki-invalid": (
+        1, "policy-host", "fix-policy-host-certificate",
+        "obtain a publicly trusted certificate for the policy host; "
+        "senders report sts-webpki-invalid"),
+    "certificate-host-mismatch": (
+        2, "mx", "fix-mx-certificate",
+        "install a certificate covering the MX hostname; senders "
+        "report certificate-host-mismatch"),
+    "certificate-expired": (
+        2, "mx", "fix-mx-certificate",
+        "renew the MX certificate; senders report certificate-expired"),
+    "certificate-not-trusted": (
+        2, "mx", "fix-mx-certificate",
+        "install a publicly trusted MX certificate; senders report "
+        "certificate-not-trusted"),
+    "validation-failure": (
+        2, "mx", "fix-mx-certificate",
+        "re-provision the MX TLS configuration; senders report "
+        "validation-failure"),
+    "starttls-not-supported": (
+        2, "mx", "fix-mx-certificate",
+        "enable STARTTLS (and install a valid certificate) on the MX; "
+        "senders report starttls-not-supported"),
+}
+
+
+def plan_repairs_from_verdict(verdicts) -> List[RepairAction]:
+    """Derive repair actions from a TLSRPT verdict feed.
+
+    *verdicts* is an iterable of
+    :class:`repro.obs.tlsrpt_monitor.TlsRptVerdict` (anything with
+    ``policy_domain`` / ``result_type`` / ``failed_sessions``).  This
+    is the report-triggered half of the repair loop: operators act on
+    what senders *told* them failed, no rescan required.  Actions are
+    deduplicated per (domain, verb) and sorted like
+    :func:`plan_repairs` output.
+    """
+    seen = set()
+    actions: List[RepairAction] = []
+    for verdict in verdicts:
+        template = _VERDICT_ACTIONS.get(verdict.result_type.value)
+        if template is None:
+            continue
+        priority, component, verb, description = template
+        key = (verdict.policy_domain, verb)
+        if key in seen:
+            continue
+        seen.add(key)
+        actions.append(RepairAction(
+            priority, component, verb,
+            f"{verdict.policy_domain}: {description} "
+            f"({verdict.failed_sessions} failed session(s))"))
+    return sorted(actions, key=lambda a: (a.priority, a.component,
+                                          a.description))
+
+
 def _suggest_patterns(snap: DomainSnapshot) -> List[str]:
     """Suggested replacement patterns: the actual MX records, with a
     typo-aware hint when a pattern is one small edit away."""

@@ -51,7 +51,11 @@ class TestReportModel:
             "total-failure-session-count"] == 3
 
     def test_result_type_mappings(self):
+        # A TLS failure at the policy host is RFC 8460 §4.3's dedicated
+        # sts-webpki-invalid, not a generic fetch error.
         assert result_type_for_fetch_stage("tls") is \
+            ResultType.STS_WEBPKI_INVALID
+        assert result_type_for_fetch_stage("http") is \
             ResultType.STS_POLICY_FETCH_ERROR
         assert result_type_for_fetch_stage("policy-syntax") is \
             ResultType.STS_POLICY_INVALID

@@ -1,9 +1,13 @@
 """Tests for TLSRPT record parsing and lookup (Appendix B)."""
 
+import string
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.tlsrpt import TlsRptRecord, lookup_tlsrpt, parse_tlsrpt_record
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import TxtRecord
 from repro.ecosystem.deployment import DomainSpec, deploy_domain
 
@@ -25,6 +29,14 @@ class TestParsing:
             "v=TLSRPTv1; rua=mailto:a@x.com,https://y.com/r")
         assert len(record.rua) == 2
 
+    def test_duplicate_rua_fields_accumulate(self):
+        # RFC 8460 allows one rua field, but real records repeat it;
+        # the parser folds every rua field's URIs into one list.
+        record = parse_tlsrpt_record(
+            "v=TLSRPTv1; rua=mailto:a@x.com; rua=mailto:b@y.com")
+        assert record is not None
+        assert record.rua == ("mailto:a@x.com", "mailto:b@y.com")
+
     def test_render_round_trip(self):
         record = TlsRptRecord("TLSRPTv1", ("mailto:a@x.com",))
         assert parse_tlsrpt_record(record.render()) == record
@@ -36,9 +48,35 @@ class TestParsing:
         "v=TLSRPTv1; rua=",                     # empty rua
         "v=TLSRPTv1; rua=ftp://x.com",          # bad scheme
         "v=TLSRPTv1; rua=mailto:not-an-email",  # malformed address
+        # empty items inside the URI list
+        "v=TLSRPTv1; rua=mailto:a@x.com,",
+        "v=TLSRPTv1; rua=,mailto:a@x.com",
+        "v=TLSRPTv1; rua=mailto:a@x.com,,https://y.com/r",
+        # the version tag is case-sensitive (RFC 8460 §3: "v=TLSRPTv1")
+        "V=TLSRPTv1; rua=mailto:a@x.com",
+        "v=tlsrptv1; rua=mailto:a@x.com",
     ])
     def test_invalid_records(self, bad):
         assert parse_tlsrpt_record(bad) is None
+
+
+# Comma- and semicolon-free URI components, so every generated URI
+# survives the record's own list syntax.
+_label = st.text(alphabet=string.ascii_lowercase + string.digits,
+                 min_size=1, max_size=8)
+_domain = st.lists(_label, min_size=2, max_size=3).map(".".join)
+_local = st.text(alphabet=string.ascii_lowercase + string.digits + ".-_",
+                 min_size=1, max_size=12)
+_mailto = st.builds(lambda local, dom: f"mailto:{local}@{dom}",
+                    _local, _domain)
+_https = _domain.map(lambda dom: f"https://{dom}/v1")
+
+
+class TestRenderParseProperty:
+    @given(st.lists(st.one_of(_mailto, _https), min_size=1, max_size=4))
+    def test_render_parse_round_trip(self, uris):
+        record = TlsRptRecord("TLSRPTv1", tuple(uris))
+        assert parse_tlsrpt_record(record.render()) == record
 
 
 class TestLookup:
@@ -61,3 +99,35 @@ class TestLookup:
         simple_domain.zone.add(TxtRecord(name, 300,
                                          "v=TLSRPTv1; rua=mailto:b@x.com"))
         assert lookup_tlsrpt(world.resolver, "example.com") is None
+
+    # -- canonical_host keying (ẞ / İ regressions) ---------------------
+
+    def test_sharp_s_casefolds_to_published_name(self, world):
+        # ẞ casefolds to "ss" while str.lower() keeps it as "ß": the
+        # lookup must fold exactly as canonical_host() does or a ẞ
+        # recipient domain misses its published record.
+        deploy_domain(world, DomainSpec(
+            domain="strasse.example",
+            tlsrpt=TlsRptRecord("TLSRPTv1",
+                                ("mailto:tls@strasse.example",))))
+        record = lookup_tlsrpt(world.resolver, "STRAẞE.example.")
+        assert record is not None
+        assert record.rua == ("mailto:tls@strasse.example",)
+
+    def test_dotted_capital_i_absent_not_crash(self, world, simple_domain):
+        # İ casefolds to "i" + COMBINING DOT ABOVE — a label no LDH
+        # zone can hold, so no such domain can publish a record.  The
+        # lookup must fold it the same way the delivery path does and
+        # answer "absent" instead of raising out of DnsName.parse.
+        assert canonical_host("İstanbul.example") == \
+            "İstanbul.example".casefold()
+        assert lookup_tlsrpt(world.resolver, "İSTANBUL.example") is None
+
+    def test_lookup_accepts_dnsname(self, world):
+        deploy_domain(world, DomainSpec(
+            domain="byname.example",
+            tlsrpt=TlsRptRecord("TLSRPTv1",
+                                ("mailto:tls@byname.example",))))
+        record = lookup_tlsrpt(world.resolver,
+                               DnsName.parse("ByName.Example."))
+        assert record is not None
