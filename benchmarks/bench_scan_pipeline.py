@@ -158,6 +158,16 @@ TLSRPT_INGEST_FLOOR_RPS = 15_000.0
 SERVE_THROUGHPUT_FLOOR_RPS = 8_000.0
 SERVE_HITRATE_FLOOR = 0.90
 
+#: Minimum speedup of the columnar analysis path over the object path
+#: for the full offline analysis phase (campaign load + every figure
+#: series + the monitor feed and health report) at the columnar
+#: section's operating point.  The columnar decoder skips
+#: DomainSnapshot/MxObservation construction entirely and memoises
+#: every pure classification behind its dictionary encodings, so the
+#: reference machine measures well above this; the floor is the
+#: regression gate, identity is asserted outright (RuntimeError).
+COLUMNAR_SPEEDUP_FLOOR = 2.0
+
 #: The retry/fault-injection layer's no-faults overhead, measured by
 #: bracketing the commit that landed it: the campaign workload on
 #: dc329b7 (its parent — no retry plumbing) against 6d8aa7c (the retry
@@ -531,6 +541,80 @@ def _policy_checker_section(scale: float, requests: int,
     }
 
 
+def _columnar_analysis_section(scale: float, seed: int) -> dict:
+    """The object path and the columnar path over one checkpointed
+    campaign at *scale*: byte-identity across every figure series,
+    the metrics JSONL feed and the health report (aborts on any
+    divergence), plus the speedup the ``--check`` floor gates."""
+    import shutil
+    import tempfile
+
+    from repro.analysis.series import load_campaign
+    from repro.obs.exporters import month_jsonl_line
+
+    print(f"columnar analysis (scale {scale}) ...", flush=True)
+    config = PopulationConfig(scale=scale, seed=seed)
+    timeline = EcosystemTimeline(TimelineConfig(config))
+    state_dir = tempfile.mkdtemp(prefix="bench-columnar-store-")
+    try:
+        run_campaign(timeline,
+                     executor=ScanExecutor(backend="serial", jobs=1),
+                     state_dir=state_dir)
+
+        rows, digests = {}, {}
+        domains = 0
+        for name, columnar in (("objects", False), ("columnar", True)):
+            started = time.perf_counter()
+            analysis = load_campaign(state_dir, columnar=columnar)
+            figures = _figures_digest(analysis)
+            figure_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            monitor = CampaignMonitor.from_state(state_dir,
+                                                 columnar=columnar)
+            feed = "".join(
+                month_jsonl_line(r.month_index, r.date, r.metrics)
+                for r in monitor.records)
+            health = json.dumps(monitor.health().as_dict(),
+                                sort_keys=True, default=str)
+            monitor_seconds = time.perf_counter() - started
+
+            blob = "\n".join((figures, feed, health))
+            digests[name] = hashlib.sha256(
+                blob.encode("utf-8")).hexdigest()
+            last = max(analysis.stats_by_month)
+            domains = analysis.stats_by_month[last].domains_scanned
+            rows[name] = {
+                "seconds": round(figure_seconds + monitor_seconds, 3),
+                "figure_seconds": round(figure_seconds, 3),
+                "monitor_seconds": round(monitor_seconds, 3),
+                "digest_sha256": digests[name],
+            }
+            print(f"  {name:<9} {rows[name]['seconds']:6.2f}s  "
+                  f"(figures {figure_seconds:.2f}s, monitor "
+                  f"{monitor_seconds:.2f}s)", flush=True)
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    if digests["objects"] != digests["columnar"]:
+        raise RuntimeError(
+            f"columnar analysis diverged from the object path: "
+            f"{digests['columnar']} != {digests['objects']}")
+    speedup = round(rows["objects"]["seconds"]
+                    / rows["columnar"]["seconds"], 2)
+    print(f"  speedup {speedup:.2f}x (floor "
+          f"{COLUMNAR_SPEEDUP_FLOOR:.1f}x)", flush=True)
+    return {
+        "scale": scale,
+        "seed": seed,
+        "domains": domains,
+        "identical_to_object_path": True,
+        "speedup": speedup,
+        "speedup_floor": COLUMNAR_SPEEDUP_FLOOR,
+        "results": rows,
+    }
+
+
 def _wallclock_rows(report: dict) -> dict:
     """Flatten every gated wall-clock in a report to ``name ->
     seconds`` — campaign configurations, the process curve, and the
@@ -551,6 +635,9 @@ def _wallclock_rows(report: dict) -> dict:
     tlsrpt = report.get("tlsrpt_pipeline") or {}
     for name, row in tlsrpt.get("results", {}).items():
         rows[f"tlsrpt-{name}"] = row["seconds"]
+    columnar = report.get("columnar_analysis") or {}
+    for name, row in columnar.get("results", {}).items():
+        rows[f"columnar-{name}"] = row["seconds"]
     return rows
 
 
@@ -672,6 +759,12 @@ def main() -> int:
                              "flash crowds ride on top)")
     parser.add_argument("--skip-serve", action="store_true",
                         help="skip the policy-checker service section")
+    parser.add_argument("--columnar-scale", type=float, default=0.1,
+                        metavar="SCALE",
+                        help="population scale for the columnar "
+                             "analysis section (default 0.1)")
+    parser.add_argument("--skip-columnar", action="store_true",
+                        help="skip the columnar analysis section")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write the monitored campaign's monthly "
                              "metrics JSONL feed to FILE")
@@ -779,6 +872,11 @@ def main() -> int:
         serve_section = _policy_checker_section(
             args.serve_scale, args.serve_requests, args.jobs)
 
+    columnar_section = None
+    if not args.skip_columnar:
+        columnar_section = _columnar_analysis_section(
+            args.columnar_scale, args.seed)
+
     # The recorded seed baseline was measured at the default scale and
     # seed; at any other operating point the comparison is meaningless.
     comparable = args.scale == 0.02 and args.seed == 20240929
@@ -844,6 +942,7 @@ def main() -> int:
         "delivery_engine": delivery_section,
         "tlsrpt_pipeline": tlsrpt_section,
         "policy_checker": serve_section,
+        "columnar_analysis": columnar_section,
         "results": results,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -903,6 +1002,17 @@ def main() -> int:
               f"{'FAIL' if violated else 'ok'}")
         if violated:
             bar_failures.append("serve/serial-hit-rate")
+    if columnar_section is not None:
+        # The columnar bar is a relative floor, not a wall-clock
+        # comparison: the whole point of the columnar decoder is that
+        # the analysis phase beats the object path by a wide margin.
+        speedup = columnar_section["speedup"]
+        violated = speedup < COLUMNAR_SPEEDUP_FLOOR
+        print(f"speedup bar [columnar/analysis]: {speedup:.2f}x "
+              f"(floor {COLUMNAR_SPEEDUP_FLOOR:.1f}x) "
+              f"{'FAIL' if violated else 'ok'}")
+        if violated:
+            bar_failures.append("columnar/analysis-speedup")
     if args.check:
         failures = _check_regressions(report, args.check,
                                       args.max_regression)

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.errors import NxDomain
 from repro.netsim.ip import IpAddress
 from repro.netsim.network import Network
@@ -132,7 +132,7 @@ class DnsSpoofer:
 
     def spoof_mx(self, domain: str, attacker_mx: str) -> None:
         """All MX lookups for *domain* now name the attacker's host."""
-        self._mx_spoofs[domain.lower().rstrip(".")] = attacker_mx
+        self._mx_spoofs[canonical_host(domain)] = attacker_mx
 
     def _spoofing_query(self, name: DnsName, rrtype):
         from repro.dns.records import MxRecord, RRType
@@ -161,7 +161,7 @@ class PolicyHostBlocker:
         resolver._query_one = self._blocking_query   # type: ignore
 
     def block_policy_host(self, domain: str) -> None:
-        self._blocked.add(f"mta-sts.{domain.lower().rstrip('.')}")
+        self._blocked.add(f"mta-sts.{canonical_host(domain)}")
 
     def _blocking_query(self, name: DnsName, rrtype):
         if name.text in self._blocked:

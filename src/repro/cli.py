@@ -171,6 +171,13 @@ def _cmd_audit(args) -> int:
                 print(f"error: {name} requires a live scan and cannot "
                       f"be combined with --load", file=sys.stderr)
                 return 2
+    if args.columnar and not args.load:
+        print("error: --columnar requires --load", file=sys.stderr)
+        return 2
+    if args.columnar and args.show_repairs:
+        print("error: --show-repairs needs snapshot objects and cannot "
+              "be combined with --columnar", file=sys.stderr)
+        return 2
 
     # With --json, stdout carries exactly one machine-readable JSON
     # document; everything informational moves to stderr.
@@ -179,7 +186,50 @@ def _cmd_audit(args) -> int:
     def info(*values, **kwargs) -> None:
         print(*values, file=info_stream, **kwargs)
 
-    if args.load:
+    if args.load and args.columnar:
+        # Offline, columnar: the month shard is decoded straight into
+        # per-field columns — no DomainSnapshot objects — and every
+        # printed line is byte-identical to the object path's.
+        from repro.measurement.columnar import (
+            ColumnarStore, snapshot_summary_view, taxonomy_census_view,
+        )
+        try:
+            cstore = ColumnarStore.from_state_dir(args.load)
+        except StoreCorruption as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        committed = cstore.months()
+        if not committed:
+            print(f"error: {args.load} holds no committed months",
+                  file=sys.stderr)
+            return 1
+        month = (args.month if args.month is not None
+                 else committed[-1])
+        if month not in cstore.entries:
+            print(f"error: month {month} is not committed in {args.load} "
+                  f"(committed: {committed})", file=sys.stderr)
+            return 1
+        entry = cstore.entries[month]
+        try:
+            view = cstore.month_view(month)
+        except StoreCorruption as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        stats = ScanStats.from_dict(entry.stats)
+        summary = snapshot_summary_view(view)
+        if args.metrics_out:
+            from repro.obs.exporters import prometheus_exposition
+            from repro.obs.monitor import build_month_registry
+            from repro.fsutil import atomic_write_text
+            registry = build_month_registry(
+                stats, build_stats=entry.build_stats,
+                bucket_census=taxonomy_census_view(view))
+            atomic_write_text(args.metrics_out, prometheus_exposition(
+                registry, labels={"month": str(month)}))
+            info(f"metrics: {len(registry.counters)} series -> "
+                 f"{args.metrics_out}")
+        info(f"snapshot {entry.date} (loaded from {args.load})")
+    elif args.load:
         # Offline: everything below runs from the checkpointed store,
         # no world is built and nothing is scanned.
         from repro.measurement.store_io import load_state
@@ -800,6 +850,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "store at DIR instead of scanning "
                             "(--month picks a committed month; default "
                             "is the latest)")
+    audit.add_argument("--columnar", action="store_true",
+                       help="with --load: decode the shard into "
+                            "per-field columns instead of snapshot "
+                            "objects (byte-identical output, faster "
+                            "at scale)")
     audit.set_defaults(handler=_cmd_audit)
 
     campaign = sub.add_parser(

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dns.dnssec import ChainStatus, DnssecAuthority
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import RRType, TlsaRecord
 from repro.dns.resolver import Resolver
 from repro.errors import DnsError
@@ -74,8 +74,9 @@ class DaneValidator:
         self._dnssec = dnssec
 
     def tlsa_records(self, mx_hostname: str | DnsName) -> List[TlsaRecord]:
-        name_text = (mx_hostname.text if isinstance(mx_hostname, DnsName)
-                     else mx_hostname).lower().rstrip(".")
+        name_text = canonical_host(
+            mx_hostname.text if isinstance(mx_hostname, DnsName)
+            else mx_hostname)
         tlsa_name = DnsName.parse(f"_25._tcp.{name_text}")
         try:
             answer = self._resolver.resolve(tlsa_name, RRType.TLSA)

@@ -24,7 +24,7 @@ from typing import List, Optional
 from repro.core.fetch import PolicyFetcher, PolicyFetchResult
 from repro.core.matching import policy_covers_mx, uncovered_mx_hosts
 from repro.core.policy import Policy, PolicyMode
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import MxRecord, RRType
 from repro.dns.resolver import Resolver
 from repro.errors import MisconfigCategory, PolicyFetchStage
@@ -167,7 +167,7 @@ class DomainAssessment:
         if self.mx_probe is None:
             return False
         by_name = {r.mx_hostname: r for r in self.mx_probe.results}
-        verdicts = [by_name.get(mx.rstrip(".").lower()) for mx in matching]
+        verdicts = [by_name.get(canonical_host(mx)) for mx in matching]
         usable = [v for v in verdicts if v is not None]
         if not usable:
             return False
@@ -196,8 +196,8 @@ class MtaStsValidator:
 
     def assess(self, domain: str | DnsName,
                *, probe_mx: bool = True) -> DomainAssessment:
-        domain_text = (domain.text if isinstance(domain, DnsName)
-                       else domain).lower().rstrip(".")
+        domain_text = canonical_host(
+            domain.text if isinstance(domain, DnsName) else domain)
         fetch_result = self._fetcher.fetch_policy(domain_text)
         assessment = DomainAssessment(domain_text, fetch_result)
         assessment.mx_records = self.mx_hostnames(domain_text)

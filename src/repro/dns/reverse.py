@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import ARecord, PtrRecord, RRType
 from repro.dns.resolver import Resolver
 from repro.dns.zone import Zone
@@ -59,9 +59,9 @@ def publish_ptr(reverse_zone: Zone, ip: IpAddress,
 def fcrdns_check(resolver: Resolver, ip: IpAddress,
                  claimed_hostname: str | DnsName) -> FcrdnsResult:
     """Verify PTR(ip) == claimed name and A(claimed name) ∋ ip."""
-    claimed = (claimed_hostname.text
-               if isinstance(claimed_hostname, DnsName)
-               else claimed_hostname).lower().rstrip(".")
+    claimed = canonical_host(claimed_hostname.text
+                             if isinstance(claimed_hostname, DnsName)
+                             else claimed_hostname)
     answer = resolver.try_resolve(reverse_name(ip), RRType.PTR)
     if answer is None or not answer.records:
         return FcrdnsResult(False, detail=f"no PTR record for {ip}")

@@ -1,0 +1,752 @@
+"""Columnar analysis over stored campaign shards (ROADMAP item 2).
+
+At paper scale the longitudinal analyses (Figures 4-10, the taxonomy
+census, Table 2) iterate tens of millions of per-domain objects per
+month; constructing a :class:`~repro.measurement.snapshots.DomainSnapshot`
+(plus its :class:`MxObservation` children) per row and re-deriving the
+same classifications per figure is the bottleneck after the scan
+itself.  Large-scale ecosystem measurements (Czybik et al., Mayer et
+al.) stay tractable by aggregating over columnar/census
+representations instead of per-host records — this module does the
+same for the stored shard format:
+
+* :class:`ColumnarStore` loads each committed month lazily, keyed off
+  the ``store_io`` manifest, parsing shard rows straight into
+  per-field stdlib ``array``/``bytearray``/list columns without ever
+  constructing a snapshot object.  ``from_store`` converts an
+  in-memory :class:`SnapshotStore` through the same builder.
+* Strings are dictionary-encoded: domains, policy modes, fetch
+  stages, providers, and whole mx-pattern/MX-host tuples intern into
+  store-level dictionaries, so every derived classification
+  (``policy_covers_mx``, ``classify_mismatch``, eSLD extraction) is
+  computed once per *distinct* value and memoised, not once per row.
+* Every hot aggregation — ``snapshot_summary``, ``mismatch_census``,
+  ``delegation_census``, the taxonomy-bucket census behind the
+  :class:`~repro.obs.monitor.CampaignMonitor` feed, and the Figure-9
+  historical matcher — has a ``*_view`` port here that runs over one
+  :class:`MonthView` of columns.
+
+The ports are gated on byte-identity: every figure series, census,
+metrics JSONL line, and health report must be byte-for-byte equal
+between the object path and the columnar path, clean and
+fault-seeded, on every scan backend (``tests/test_columnar.py`` and
+the ``columnar-identity`` CI job enforce this).  To keep that
+guarantee the per-row derivations below call the *same* pure
+functions the object path calls (``policy_covers_mx``,
+``classify_mismatch``, ``_esld``), only memoised behind the
+dictionary encoding, and every Counter is built in the same insertion
+order so ``most_common`` tie-breaks agree.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.matching import policy_covers_mx
+from repro.dns.name import DnsName, effective_sld, registrable_part
+from repro.errors import (
+    MisconfigCategory, MismatchClass, PolicyFetchStage, PolicyWarning,
+    StoreCorruption,
+)
+from repro.measurement.classify import SELF_MAX, THIRD_PARTY_MIN, _esld
+from repro.measurement.inconsistency import classify_mismatch
+from repro.measurement.taxonomy import PRIMARY_BUCKETS, SnapshotSummary
+
+if TYPE_CHECKING:
+    from repro.measurement.snapshots import SnapshotStore
+    from repro.measurement.store_io import MonthEntry
+
+__all__ = [
+    "ColumnarStore", "MonthView",
+    "snapshot_summary_view", "taxonomy_census_view",
+    "mismatch_census_view", "delegation_census_view",
+    "historical_series_view",
+]
+
+# -- fixed encodings --------------------------------------------------------
+#
+# The category bits follow categorize()'s append order so iterating set
+# bits reproduces the object path's Counter insertion order exactly.
+
+_CATEGORY_ORDER = (MisconfigCategory.DNS_RECORD,
+                   MisconfigCategory.POLICY_RETRIEVAL,
+                   MisconfigCategory.MX_CERTIFICATE,
+                   MisconfigCategory.INCONSISTENCY)
+_CATEGORY_BIT = {category: 1 << index
+                 for index, category in enumerate(_CATEGORY_ORDER)}
+_TRANSIENT_BIT = 1 << len(_CATEGORY_ORDER)
+
+_BUCKET_CODE = {bucket: index for index, bucket in enumerate(PRIMARY_BUCKETS)}
+_B_TRANSIENT = _BUCKET_CODE["transient"]
+_B_NOT_STS = _BUCKET_CODE["not-sts"]
+_B_OK = _BUCKET_CODE["ok"]
+
+#: Entity verdicts, encoded as indexes into the summary key strings.
+ENTITY_KEYS = ("self-managed", "third-party", "unclassified")
+_E_SELF, _E_THIRD, _E_UNCLASSIFIED = 0, 1, 2
+
+#: Mismatch classes, 1-based; 0 means "no mismatch".
+_MISMATCH_CLASSES = tuple(MismatchClass)
+_MISMATCH_CODE = {cls: index + 1
+                  for index, cls in enumerate(_MISMATCH_CLASSES)}
+_DOMAIN_MISMATCH_CODE = _MISMATCH_CODE[MismatchClass.DOMAIN]
+
+
+@dataclass
+class MonthView:
+    """One month's cross-section as parallel per-field columns.
+
+    Row order is the shard's canonical sorted-domain order, so row *i*
+    of every column describes the same domain.  String-valued fields
+    hold dictionary codes into the owning :class:`ColumnarStore`;
+    boolean fields are ``bytearray`` flags; ``categories`` and
+    ``warnings`` are bitmasks.
+    """
+
+    month_index: int
+    store: "ColumnarStore"
+    n: int
+    domain_ids: array            # 'q': dictionary-encoded domain
+    row_of_domain: Dict[int, int]
+    sts: bytearray               # sts_like
+    transient: bytearray         # any_transient
+    record_valid: bytearray
+    stage: bytearray             # failed fetch stage code, 0 = ok
+    syntax: bytearray            # has policy syntax errors
+    mode: bytearray              # policy mode code
+    enforce: bytearray           # mode == "enforce"
+    max_age: array               # 'q': policy max_age, -1 = None
+    warnings: array              # 'Q': policy-warning bitmask
+    categories: bytearray        # Figure-4 category bitmask
+    bucket: bytearray            # primary_bucket code
+    consistent: bytearray
+    delivery_failure: bytearray  # delivery_failure_expected
+    any_invalid: bytearray       # any_invalid_mx_cert
+    all_invalid: bytearray       # all_invalid_mx_cert
+    cert_classes: List[Tuple[str, ...]]  # failure classes of invalid MXs
+    policy_entity: bytearray
+    mx_entity: bytearray
+    both_outsourced: bytearray
+    same_provider: bytearray
+    mismatch: bytearray          # classify_snapshot class code, 0 = none
+    provider_ids: array          # 'q': delegation provider, -1 = none
+    provider_examples: Dict[int, str]    # first-seen CNAME per provider
+    patterns_ids: array          # 'q': interned mx-pattern tuple
+    hosts_ids: array             # 'q': interned MX-hostname tuple
+
+    def domain(self, row: int) -> str:
+        return self.store.domain_name(self.domain_ids[row])
+
+
+class ColumnarStore:
+    """Lazy per-month column views over a committed campaign.
+
+    Construct with :meth:`from_state_dir` (shards parse straight to
+    columns, verified against the manifest exactly like the object
+    loader) or :meth:`from_store` (in-memory conversion through the
+    same builder).  ``month_view`` loads and caches one month at a
+    time — analyses over a single month never pay for the rest of the
+    campaign.
+    """
+
+    def __init__(self, *, state_dir: Optional[str] = None,
+                 entries: Optional[Dict[int, "MonthEntry"]] = None,
+                 population: Optional[dict] = None,
+                 object_store: Optional["SnapshotStore"] = None):
+        self.state_dir = state_dir
+        self.entries: Dict[int, "MonthEntry"] = entries or {}
+        self.population = population
+        self._object_store = object_store
+        self._views: Dict[int, MonthView] = {}
+        # -- dictionaries (shared across months) -----------------------
+        self._domain_ids: Dict[str, int] = {}
+        self._domain_names: List[str] = []
+        self._tuple_ids: Dict[Tuple[str, ...], int] = {}
+        self._tuples: List[Tuple[str, ...]] = []
+        self._empty_tuple = self._tuple_id(())
+        self._mode_ids: Dict[str, int] = {}
+        self._mode_names: List[str] = []
+        self._intern_mode("")
+        self._enforce_mode = self._intern_mode("enforce")
+        self._stage_ids: Dict[str, int] = {}
+        self._stage_names: List[str] = []
+        for stage in PolicyFetchStage:
+            self._intern_stage(stage.value)
+        self._warning_bits: Dict[str, int] = {
+            warning.value: 1 << index
+            for index, warning in enumerate(PolicyWarning)}
+        self._provider_ids: Dict[str, int] = {}
+        self._provider_names: List[str] = []
+        # -- memoised pure functions -----------------------------------
+        self._covers_one_memo: Dict[Tuple[int, str], bool] = {}
+        self._covers_any_memo: Dict[Tuple[int, int], bool] = {}
+        self._mismatch_memo: Dict[Tuple[int, int], int] = {}
+        self._esld_memo: Dict[str, str] = {}
+        self._own_memo: Dict[str, str] = {}
+        self._own_sld_memo: Dict[str, Optional[DnsName]] = {}
+        self._target_sld_memo: Dict[str, Optional[DnsName]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_state_dir(cls, state_dir: str,
+                       months: Optional[List[int]] = None) -> "ColumnarStore":
+        """Attach to a committed state directory without loading any
+        shard yet; months materialise on first ``month_view``."""
+        from repro.measurement.store_io import (
+            MANIFEST_NAME, MonthEntry, read_manifest,
+        )
+        state_dir = os.path.abspath(state_dir)
+        manifest = read_manifest(state_dir)
+        if manifest is None:
+            raise StoreCorruption(
+                f"{state_dir}: no {MANIFEST_NAME} — not a campaign state "
+                f"directory")
+        wanted = None if months is None else set(months)
+        entries = {}
+        for raw in manifest.get("months", ()):
+            entry = MonthEntry.from_dict(raw)
+            if wanted is None or entry.month in wanted:
+                entries[entry.month] = entry
+        return cls(state_dir=state_dir, entries=entries,
+                   population=manifest.get("population"))
+
+    @classmethod
+    def from_store(cls, store: "SnapshotStore") -> "ColumnarStore":
+        """Columnarise an in-memory store (lazily, month by month)."""
+        return cls(object_store=store)
+
+    # -- month access --------------------------------------------------
+
+    def months(self) -> List[int]:
+        if self._object_store is not None:
+            return self._object_store.months()
+        return sorted(self.entries)
+
+    def month_view(self, month: int) -> MonthView:
+        view = self._views.get(month)
+        if view is None:
+            view = self._build_view(month, self._month_rows(month))
+            self._views[month] = view
+        return view
+
+    def loaded_months(self) -> List[int]:
+        """The months materialised so far (lazy-loading introspection)."""
+        return sorted(self._views)
+
+    def _month_rows(self, month: int) -> List[dict]:
+        if self._object_store is not None:
+            return [snapshot.to_dict()
+                    for snapshot in self._object_store.month(month)]
+        from repro.measurement.store_io import load_shard_rows
+        entry = self.entries.get(month)
+        if entry is None:
+            raise KeyError(f"month {month} is not committed in "
+                           f"{self.state_dir}")
+        return load_shard_rows(self.state_dir, entry)
+
+    # -- dictionaries --------------------------------------------------
+
+    def domain_name(self, domain_id: int) -> str:
+        return self._domain_names[domain_id]
+
+    def provider_name(self, provider_id: int) -> str:
+        return self._provider_names[provider_id]
+
+    def stage_name(self, code: int) -> str:
+        return self._stage_names[code - 1]
+
+    def mode_name(self, code: int) -> str:
+        return self._mode_names[code]
+
+    def host_tuple(self, tuple_id: int) -> Tuple[str, ...]:
+        return self._tuples[tuple_id]
+
+    def _domain_id(self, domain: str) -> int:
+        did = self._domain_ids.get(domain)
+        if did is None:
+            did = len(self._domain_names)
+            self._domain_ids[domain] = did
+            self._domain_names.append(domain)
+        return did
+
+    def _tuple_id(self, value: Tuple[str, ...]) -> int:
+        tid = self._tuple_ids.get(value)
+        if tid is None:
+            tid = len(self._tuples)
+            self._tuple_ids[value] = tid
+            self._tuples.append(value)
+        return tid
+
+    def _intern_mode(self, mode: str) -> int:
+        code = self._mode_ids.get(mode)
+        if code is None:
+            code = len(self._mode_names)
+            self._mode_ids[mode] = code
+            self._mode_names.append(mode)
+        return code
+
+    def _intern_stage(self, stage: str) -> int:
+        code = self._stage_ids.get(stage)
+        if code is None:
+            self._stage_names.append(stage)
+            code = len(self._stage_names)
+            self._stage_ids[stage] = code
+        return code
+
+    def _warning_bit(self, warning: str) -> int:
+        bit = self._warning_bits.get(warning)
+        if bit is None:
+            if len(self._warning_bits) >= 64:
+                raise ValueError("more than 64 distinct policy warnings")
+            bit = 1 << len(self._warning_bits)
+            self._warning_bits[warning] = bit
+        return bit
+
+    def _intern_provider(self, provider: str) -> int:
+        pid = self._provider_ids.get(provider)
+        if pid is None:
+            pid = len(self._provider_names)
+            self._provider_ids[provider] = pid
+            self._provider_names.append(provider)
+        return pid
+
+    # -- memoised derivations ------------------------------------------
+
+    def _covers_one(self, patterns_id: int, host: str) -> bool:
+        key = (patterns_id, host)
+        hit = self._covers_one_memo.get(key)
+        if hit is None:
+            hit = policy_covers_mx(self._tuples[patterns_id], host)
+            self._covers_one_memo[key] = hit
+        return hit
+
+    def _covers_any(self, patterns_id: int, hosts_id: int) -> bool:
+        key = (patterns_id, hosts_id)
+        hit = self._covers_any_memo.get(key)
+        if hit is None:
+            hit = any(self._covers_one(patterns_id, host)
+                      for host in self._tuples[hosts_id])
+            self._covers_any_memo[key] = hit
+        return hit
+
+    def _mismatch_code(self, patterns_id: int, hosts_id: int) -> int:
+        key = (patterns_id, hosts_id)
+        code = self._mismatch_memo.get(key)
+        if code is None:
+            verdict = classify_mismatch(self._tuples[patterns_id],
+                                        self._tuples[hosts_id])
+            code = (_MISMATCH_CODE[verdict.mismatch_class]
+                    if verdict.mismatch else 0)
+            self._mismatch_memo[key] = code
+        return code
+
+    def _esld_of(self, hostname: str) -> str:
+        value = self._esld_memo.get(hostname)
+        if value is None:
+            value = _esld(hostname)
+            self._esld_memo[hostname] = value
+        return value
+
+    def _own_of(self, domain: str) -> str:
+        value = self._own_memo.get(domain)
+        if value is None:
+            value = registrable_part(domain)
+            self._own_memo[domain] = value
+        return value
+
+    def _provider_of(self, domain: str,
+                     cname: Optional[str]) -> Optional[str]:
+        """``delegation.identify_provider`` on raw fields, memoised."""
+        if not cname:
+            return None
+        if cname in self._target_sld_memo:
+            target = self._target_sld_memo[cname]
+        else:
+            name = DnsName.try_parse(cname)
+            target = effective_sld(name) if name is not None else None
+            self._target_sld_memo[cname] = target
+        if target is None:
+            return None
+        if domain in self._own_sld_memo:
+            own = self._own_sld_memo[domain]
+        else:
+            own = effective_sld(DnsName.parse(domain))
+            self._own_sld_memo[domain] = own
+        if own is not None and target == own:
+            return None
+        return target.text
+
+    # -- the column builder --------------------------------------------
+
+    def _build_view(self, month: int, rows: List[dict]) -> MonthView:
+        n = len(rows)
+        esld_of = self._esld_of
+
+        # Pass 1: the cross-section tallies the entity heuristics need
+        # (paper §4.3.1) — distinct-domain popularity per MX eSLD and
+        # per server IP, policy-host IP membership, and the group
+        # configuration signatures.  One shard row per domain, so
+        # per-row-deduped counts equal the object path's set sizes.
+        mx_sld_count: Dict[str, int] = {}
+        mx_ip_count: Dict[str, int] = {}
+        policy_ip_rows: Dict[str, List[int]] = {}
+        group_signatures: Dict[str, set] = {}
+        row_slds: List[List[str]] = []
+        row_obs_ips: List[List[str]] = []
+        sorted_mx: List[Tuple[str, ...]] = []
+        for i, row in enumerate(rows):
+            mx_hosts = row["mx_hostnames"]
+            slds = sorted({sld for sld in (esld_of(mx) for mx in mx_hosts)
+                           if sld})
+            row_slds.append(slds)
+            for sld in slds:
+                mx_sld_count[sld] = mx_sld_count.get(sld, 0) + 1
+            ips = [ip for obs in row["mx_observations"]
+                   for ip in obs["addresses"]]
+            row_obs_ips.append(ips)
+            for ip in set(ips):
+                mx_ip_count[ip] = mx_ip_count.get(ip, 0) + 1
+            policy_addresses = row["policy_host_addresses"]
+            for ip in set(policy_addresses):
+                policy_ip_rows.setdefault(ip, []).append(i)
+            smx = tuple(sorted(mx_hosts))
+            sorted_mx.append(smx)
+            signature = (smx, tuple(sorted(policy_addresses)),
+                         row["policy_host_cname"] is not None)
+            for sld in slds:
+                group_signatures.setdefault(sld, set()).add(signature)
+
+        # Pass 2: every per-row column in one sweep; each derived value
+        # is computed exactly once (and memoised per distinct input).
+        view = MonthView(
+            month_index=month, store=self, n=n,
+            domain_ids=array("q", bytes(8 * n)), row_of_domain={},
+            sts=bytearray(n), transient=bytearray(n),
+            record_valid=bytearray(n), stage=bytearray(n),
+            syntax=bytearray(n), mode=bytearray(n), enforce=bytearray(n),
+            max_age=array("q", bytes(8 * n)),
+            warnings=array("Q", bytes(8 * n)),
+            categories=bytearray(n), bucket=bytearray(n),
+            consistent=bytearray(n), delivery_failure=bytearray(n),
+            any_invalid=bytearray(n), all_invalid=bytearray(n),
+            cert_classes=[()] * n,
+            policy_entity=bytearray(n), mx_entity=bytearray(n),
+            both_outsourced=bytearray(n), same_provider=bytearray(n),
+            mismatch=bytearray(n),
+            provider_ids=array("q", bytes(8 * n)), provider_examples={},
+            patterns_ids=array("q", bytes(8 * n)),
+            hosts_ids=array("q", bytes(8 * n)))
+
+        for i, row in enumerate(rows):
+            domain = row["domain"]
+            did = self._domain_id(domain)
+            view.domain_ids[i] = did
+            view.row_of_domain[did] = i
+
+            sts = bool(row["sts_like"])
+            view.sts[i] = sts
+            view.record_valid[i] = bool(row["record_valid"])
+            mx_hosts = row["mx_hostnames"]
+            patterns = row["mx_patterns"]
+            pid = self._tuple_id(tuple(patterns))
+            hid = self._tuple_id(tuple(mx_hosts))
+            view.patterns_ids[i] = pid
+            view.hosts_ids[i] = hid
+            observations = row["mx_observations"]
+
+            transient = bool(row["dns_transient"] or row["policy_transient"]
+                             or any(obs["transient"]
+                                    for obs in observations))
+            view.transient[i] = transient
+
+            stage_name = row["policy_fetch_stage"]
+            stage_code = (0 if stage_name is None
+                          else self._intern_stage(stage_name))
+            view.stage[i] = stage_code
+            syntax = bool(row["policy_syntax_errors"])
+            view.syntax[i] = syntax
+            policy_ok = stage_name is None and not syntax
+
+            mode = row["policy_mode"]
+            mode_code = self._intern_mode(mode)
+            view.mode[i] = mode_code
+            enforce = mode_code == self._enforce_mode
+            view.enforce[i] = enforce
+            max_age = row["policy_max_age"]
+            view.max_age[i] = -1 if max_age is None else int(max_age)
+            mask = 0
+            for warning in row["policy_warnings"]:
+                mask |= self._warning_bit(warning)
+            view.warnings[i] = mask
+
+            capable = [obs for obs in observations
+                       if obs["tls_established"]]
+            any_invalid = any(not obs["cert_valid"] for obs in capable)
+            view.any_invalid[i] = any_invalid
+            view.all_invalid[i] = bool(capable) and all(
+                not obs["cert_valid"] for obs in capable)
+            if any_invalid:
+                view.cert_classes[i] = tuple(sorted(
+                    {obs["failure_class"] for obs in capable
+                     if not obs["cert_valid"]}))
+
+            consistent = True
+            if policy_ok and mx_hosts and patterns:
+                consistent = self._covers_any(pid, hid)
+            view.consistent[i] = consistent
+
+            if enforce and policy_ok and mx_hosts:
+                matching = [mx for mx in mx_hosts
+                            if self._covers_one(pid, mx)]
+                if not matching:
+                    view.delivery_failure[i] = True
+                else:
+                    observed = {obs["hostname"]: obs
+                                for obs in observations}
+                    usable = [observed[mx] for mx in matching
+                              if mx in observed
+                              and observed[mx]["tls_established"]]
+                    view.delivery_failure[i] = bool(usable) and all(
+                        not obs["cert_valid"] for obs in usable)
+
+            bits = _TRANSIENT_BIT if transient else 0
+            if sts:
+                if not row["record_valid"]:
+                    bits |= _CATEGORY_BIT[MisconfigCategory.DNS_RECORD]
+                if stage_name is not None or syntax:
+                    bits |= _CATEGORY_BIT[MisconfigCategory.POLICY_RETRIEVAL]
+                if any_invalid:
+                    bits |= _CATEGORY_BIT[MisconfigCategory.MX_CERTIFICATE]
+                if not consistent:
+                    bits |= _CATEGORY_BIT[MisconfigCategory.INCONSISTENCY]
+            view.categories[i] = bits
+
+            if transient:
+                view.bucket[i] = _B_TRANSIENT
+            elif not sts:
+                view.bucket[i] = _B_NOT_STS
+            else:
+                bucket = _B_OK
+                for category in _CATEGORY_ORDER:
+                    if bits & _CATEGORY_BIT[category]:
+                        bucket = _BUCKET_CODE[category.value]
+                        break
+                view.bucket[i] = bucket
+
+            if policy_ok and patterns and mx_hosts:
+                view.mismatch[i] = self._mismatch_code(pid, hid)
+
+            # -- entity heuristics (EntityClassifier port) --------------
+            own = self._own_of(domain)
+            slds = row_slds[i]
+            mx_entity, mx_sld = _E_UNCLASSIFIED, ""
+            if slds:
+                if all(sld == own for sld in slds):
+                    mx_entity = _E_SELF
+                else:
+                    ip_popularity = max(
+                        (mx_ip_count[ip] for ip in row_obs_ips[i]),
+                        default=0)
+                    popular = [sld for sld in slds
+                               if mx_sld_count[sld] >= THIRD_PARTY_MIN
+                               or ip_popularity >= THIRD_PARTY_MIN]
+                    if popular:
+                        sld = popular[0]
+                        signatures = group_signatures[sld]
+                        if (len(signatures) == 1
+                                and not next(iter(signatures))[2]):
+                            mx_entity = _E_SELF
+                        else:
+                            mx_entity, mx_sld = _E_THIRD, sld
+                    elif all(mx_sld_count[sld] <= SELF_MAX
+                             for sld in slds):
+                        mx_entity = _E_SELF
+            view.mx_entity[i] = mx_entity
+
+            cname = row["policy_host_cname"]
+            policy_addresses = row["policy_host_addresses"]
+            policy_entity, policy_sld = _E_UNCLASSIFIED, ""
+            if sts:
+                if cname:
+                    target_sld = esld_of(cname)
+                    if target_sld and target_sld != own:
+                        policy_entity, policy_sld = _E_THIRD, target_sld
+                    else:
+                        policy_entity = _E_SELF
+                elif not policy_addresses:
+                    policy_entity = _E_SELF
+                else:
+                    popularity = max(len(policy_ip_rows[ip])
+                                     for ip in policy_addresses)
+                    if popularity >= THIRD_PARTY_MIN:
+                        member_signatures = {
+                            sorted_mx[j] for ip in policy_addresses
+                            for j in policy_ip_rows[ip]}
+                        policy_entity = (_E_SELF
+                                         if len(member_signatures) == 1
+                                         else _E_THIRD)
+                    elif popularity <= SELF_MAX:
+                        policy_entity = _E_SELF
+            view.policy_entity[i] = policy_entity
+
+            both = mx_entity == _E_THIRD and policy_entity == _E_THIRD
+            view.both_outsourced[i] = both
+            view.same_provider[i] = bool(
+                both and mx_sld and policy_sld
+                and mx_sld.split(".")[0] == policy_sld.split(".")[0])
+
+            provider = self._provider_of(domain, cname)
+            if provider is None:
+                view.provider_ids[i] = -1
+            else:
+                provider_id = self._intern_provider(provider)
+                view.provider_ids[i] = provider_id
+                if provider_id not in view.provider_examples:
+                    view.provider_examples[provider_id] = cname or ""
+        return view
+
+
+# ---------------------------------------------------------------------------
+# Ports of the hot aggregations
+# ---------------------------------------------------------------------------
+
+def snapshot_summary_view(view: MonthView) -> SnapshotSummary:
+    """``taxonomy.snapshot_summary`` over columns; equal to the object
+    path's summary field-for-field (including Counter insertion order,
+    which ``most_common`` tie-breaks depend on)."""
+    store = view.store
+    transient_count = sum(view.transient)
+    total_sts = sum(1 for i in range(view.n)
+                    if view.sts[i] and not view.transient[i])
+    summary = SnapshotSummary(
+        month_index=view.month_index if view.n else 0,
+        total_sts=total_sts, transient=transient_count)
+    for i in range(view.n):
+        if not view.sts[i] or view.transient[i]:
+            continue
+        bits = view.categories[i]
+        if bits:
+            summary.misconfigured += 1
+            for category in _CATEGORY_ORDER:
+                if bits & _CATEGORY_BIT[category]:
+                    summary.category_counts[category.value] += 1
+        if view.delivery_failure[i]:
+            summary.delivery_failures += 1
+
+        policy_entity = ENTITY_KEYS[view.policy_entity[i]]
+        summary.policy_entity_totals[policy_entity] += 1
+        if view.stage[i]:
+            summary.policy_errors_by_entity[policy_entity][
+                store.stage_name(view.stage[i])] += 1
+        elif view.syntax[i]:
+            summary.policy_errors_by_entity[policy_entity][
+                "policy-syntax"] += 1
+
+        mx_entity = ENTITY_KEYS[view.mx_entity[i]]
+        summary.mx_entity_totals[mx_entity] += 1
+        if view.any_invalid[i]:
+            summary.mx_invalid_by_entity[mx_entity] += 1
+            for failure_class in view.cert_classes[i]:
+                summary.mx_cert_by_entity[mx_entity][failure_class] += 1
+            if view.all_invalid[i]:
+                summary.all_invalid_mx += 1
+            else:
+                summary.partially_invalid_mx += 1
+            if view.enforce[i] and view.all_invalid[i]:
+                summary.enforce_invalid_mx += 1
+
+        if not view.consistent[i]:
+            summary.inconsistent += 1
+            if view.enforce[i]:
+                summary.enforce_inconsistent += 1
+    return summary
+
+
+def taxonomy_census_view(view: MonthView) -> Dict[str, int]:
+    """The total-and-exclusive ``primary_bucket`` census of one month,
+    in :data:`PRIMARY_BUCKETS` order (the monitor registry's order)."""
+    census = {bucket: 0 for bucket in PRIMARY_BUCKETS}
+    for code in view.bucket:
+        census[PRIMARY_BUCKETS[code]] += 1
+    return census
+
+
+def mismatch_census_view(view: MonthView) -> dict:
+    """``inconsistency.mismatch_census`` over columns."""
+    counts = {cls: 0 for cls in MismatchClass}
+    enforce = 0
+    total_sts = 0
+    for i in range(view.n):
+        if not view.sts[i]:
+            continue
+        total_sts += 1
+        code = view.mismatch[i]
+        if not code:
+            continue
+        counts[_MISMATCH_CLASSES[code - 1]] += 1
+        if view.enforce[i]:
+            enforce += 1
+    return {"total_sts": total_sts, "counts": counts, "enforce": enforce}
+
+
+def delegation_census_view(view: MonthView, top: int = 8) -> List[dict]:
+    """``delegation.delegation_census`` over columns.  The Counter is
+    filled in row (sorted-domain) order so ``most_common`` breaks count
+    ties exactly like the object path."""
+    counts: Counter = Counter()
+    for provider_id in view.provider_ids:
+        if provider_id >= 0:
+            counts[provider_id] += 1
+    rows = []
+    for provider_id, count in counts.most_common(top):
+        rows.append({
+            "provider_sld": view.store.provider_name(provider_id),
+            "domains": count,
+            "cname_example": view.provider_examples[provider_id]})
+    return rows
+
+
+def historical_series_view(store: ColumnarStore) -> List[dict]:
+    """``historical.historical_series`` (Figure 9) over columns.
+
+    For each month's complete-domain-mismatch candidates, walk the
+    domain's earlier months (ascending) and ask whether the *current*
+    patterns cover any earlier MX set — all through the interned
+    tuple dictionary, so each (patterns, hosts) pair is matched once
+    campaign-wide."""
+    months = store.months()
+    rows = []
+    for month in months:
+        view = store.month_view(month)
+        candidates = [i for i in range(view.n)
+                      if view.mismatch[i] == _DOMAIN_MISMATCH_CODE]
+        matched = 0
+        for i in candidates:
+            patterns_id = view.patterns_ids[i]
+            domain_id = view.domain_ids[i]
+            for earlier_month in months:
+                if earlier_month >= month:
+                    break
+                earlier = store.month_view(earlier_month)
+                j = earlier.row_of_domain.get(domain_id)
+                if j is None:
+                    continue
+                hosts_id = earlier.hosts_ids[j]
+                if hosts_id == store._empty_tuple:
+                    continue
+                if store._covers_any(patterns_id, hosts_id):
+                    matched += 1
+                    break
+        rows.append({
+            "month_index": month,
+            "candidates": len(candidates),
+            "matched": matched,
+            "percent": (100.0 * matched / len(candidates)
+                        if candidates else 0.0),
+        })
+    return rows

@@ -22,7 +22,7 @@ from typing import List, Optional
 from repro.core.matching import policy_covers_mx, unused_patterns
 from repro.core.policy import Policy, PolicyMode, check_policy_text
 from repro.core.record import evaluate_txt_rrset
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.dns.records import MxRecord, RRType, TxtRecord
 from repro.dns.zone import Zone, parse_master_file
 from repro.errors import MismatchClass
@@ -73,7 +73,7 @@ def assess_zone(zone_text: str, domain: str,
     *policy_text*, when given, is the content the operator intends to
     serve at the well-known URI; without it only DNS-side checks run.
     """
-    domain = domain.lower().rstrip(".")
+    domain = canonical_host(domain)
     assessment = OfflineAssessment(domain=domain)
     try:
         zone = parse_master_file(zone_text, origin=origin or domain)

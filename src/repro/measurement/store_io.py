@@ -48,7 +48,7 @@ __all__ = [
     "MonthEntry", "CampaignState",
     "shard_name", "month_shard_text", "shard_digest",
     "read_manifest", "commit_month", "save_store",
-    "load_state", "load_store",
+    "load_shard_rows", "load_state", "load_store",
 ]
 
 #: Bump when the shard row layout or manifest structure changes in a
@@ -248,7 +248,15 @@ def save_store(store: SnapshotStore, state_dir: str, *,
 # Load
 # ---------------------------------------------------------------------------
 
-def _load_shard(state_dir: str, entry: MonthEntry) -> List[DomainSnapshot]:
+def load_shard_rows(state_dir: str, entry: MonthEntry) -> List[dict]:
+    """The verified plain-data rows of one committed shard.
+
+    Performs every integrity check :func:`load_state` applies —
+    existence, content digest, per-row parseability, month ownership,
+    row count — but stops at the JSON layer: callers that aggregate
+    over raw fields (the columnar analysis path) get the dicts without
+    paying for :class:`DomainSnapshot` construction.
+    """
     path = os.path.join(state_dir, entry.shard)
     if not os.path.exists(path):
         raise StoreCorruption(
@@ -265,25 +273,41 @@ def _load_shard(state_dir: str, entry: MonthEntry) -> List[DomainSnapshot]:
             f"shard {entry.shard}: content digest {digest[:12]}… does not "
             f"match the manifest's {entry.sha256[:12]}… — the shard was "
             f"corrupted or partially written")
-    snapshots = []
+    rows = []
     for number, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
-            snapshot = DomainSnapshot.from_dict(json.loads(line))
+            row = json.loads(line)
+        except ValueError as exc:
+            raise StoreCorruption(
+                f"shard {entry.shard}: row {number} is truncated or "
+                f"unparsable ({exc})") from exc
+        if not isinstance(row, dict) or "month_index" not in row:
+            raise StoreCorruption(
+                f"shard {entry.shard}: row {number} is truncated or "
+                f"unparsable (not a snapshot row)")
+        if row["month_index"] != entry.month:
+            raise StoreCorruption(
+                f"shard {entry.shard}: row {number} belongs to month "
+                f"{row['month_index']}, not {entry.month}")
+        rows.append(row)
+    if len(rows) != entry.rows:
+        raise StoreCorruption(
+            f"shard {entry.shard}: {len(rows)} rows on disk, "
+            f"manifest records {entry.rows} — truncated shard")
+    return rows
+
+
+def _load_shard(state_dir: str, entry: MonthEntry) -> List[DomainSnapshot]:
+    snapshots = []
+    for number, row in enumerate(load_shard_rows(state_dir, entry), start=1):
+        try:
+            snapshots.append(DomainSnapshot.from_dict(row))
         except (TypeError, ValueError, KeyError) as exc:
             raise StoreCorruption(
                 f"shard {entry.shard}: row {number} is truncated or "
                 f"unparsable ({exc})") from exc
-        if snapshot.month_index != entry.month:
-            raise StoreCorruption(
-                f"shard {entry.shard}: row {number} belongs to month "
-                f"{snapshot.month_index}, not {entry.month}")
-        snapshots.append(snapshot)
-    if len(snapshots) != entry.rows:
-        raise StoreCorruption(
-            f"shard {entry.shard}: {len(snapshots)} rows on disk, "
-            f"manifest records {entry.rows} — truncated shard")
     return snapshots
 
 

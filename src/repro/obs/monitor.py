@@ -71,6 +71,7 @@ _STAT_COUNTERS = (
 def build_month_registry(stats: "ScanStats",
                          snapshots: Iterable["DomainSnapshot"] = (),
                          *, build_stats: Optional[Dict[str, int]] = None,
+                         bucket_census: Optional[Dict[str, int]] = None,
                          ) -> MetricsRegistry:
     """The deterministic metrics snapshot for one scan month.
 
@@ -80,15 +81,24 @@ def build_month_registry(stats: "ScanStats",
     Virtual backoff is recorded in whole milliseconds: the underlying
     float sum is order-sensitive in its last bits across thread
     interleavings, integer milliseconds are not.
+
+    *bucket_census* short-circuits the snapshot iteration with a
+    precomputed ``primary_bucket`` census (the columnar analysis path
+    supplies :func:`~repro.measurement.columnar.taxonomy_census_view`'s
+    result); the emitted registry is identical either way.
     """
     registry = MetricsRegistry()
     for attribute, key in _STAT_COUNTERS:
         registry.count(key, getattr(stats, attribute))
     registry.count("net.backoff_millis",
                    round(stats.retry_backoff_seconds * 1_000))
-    census = {bucket: 0 for bucket in PRIMARY_BUCKETS}
-    for snapshot in snapshots:
-        census[primary_bucket(snapshot)] += 1
+    if bucket_census is None:
+        census = {bucket: 0 for bucket in PRIMARY_BUCKETS}
+        for snapshot in snapshots:
+            census[primary_bucket(snapshot)] += 1
+    else:
+        census = {bucket: int(bucket_census.get(bucket, 0))
+                  for bucket in PRIMARY_BUCKETS}
     for bucket, count in census.items():
         registry.count(f"taxonomy.{bucket}", count)
     for key, value in sorted((build_stats or {}).items()):
@@ -276,6 +286,7 @@ class CampaignMonitor:
     @classmethod
     def from_state(cls, state_dir: str,
                    thresholds: Optional[Thresholds] = None,
+                   *, columnar: bool = False,
                    ) -> "CampaignMonitor":
         """Re-evaluate campaign health from a checkpointed state dir.
 
@@ -285,12 +296,32 @@ class CampaignMonitor:
         the inputs :meth:`observe_month` saw live, so the monthly feed
         (and therefore drift and health) is byte-identical to the
         feed the original campaign would have written.
+
+        ``columnar=True`` rebuilds the taxonomy census from the
+        columnar analysis path (no snapshot objects); the feed stays
+        byte-identical.
         """
         from repro.measurement.executor import ScanStats
+
+        monitor = cls(thresholds)
+        if columnar:
+            from repro.measurement.columnar import (
+                ColumnarStore, taxonomy_census_view,
+            )
+            store = ColumnarStore.from_state_dir(state_dir)
+            for month in store.months():
+                entry = store.entries[month]
+                registry = build_month_registry(
+                    ScanStats.from_dict(entry.stats),
+                    build_stats=entry.build_stats,
+                    bucket_census=taxonomy_census_view(
+                        store.month_view(month)))
+                monitor.add_record(
+                    MonthRecord(month, entry.date, registry))
+            return monitor
         from repro.measurement.store_io import load_state
 
         state = load_state(state_dir)
-        monitor = cls(thresholds)
         for entry in state.months:
             monitor.observe_month(
                 entry.month, entry.date, ScanStats.from_dict(entry.stats),

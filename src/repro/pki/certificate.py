@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.clock import Instant
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.pki.keys import KeyPair
 
 
@@ -24,8 +24,8 @@ def hostname_matches(pattern: str, hostname: str) -> bool:
     wildcard never matches an empty label or crosses label boundaries.
     Matching is case-insensitive.
     """
-    pattern = pattern.strip().rstrip(".").lower()
-    hostname = hostname.strip().rstrip(".").lower()
+    pattern = canonical_host(pattern)
+    hostname = canonical_host(hostname)
     if not pattern or not hostname:
         return False
     if pattern == hostname:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.netsim.ip import IpAddress
 from repro.netsim.network import Network
 from repro.tls.handshake import TlsEndpoint
@@ -63,8 +63,8 @@ class MxHost:
     def __init__(self, hostname: str | DnsName, ip: IpAddress,
                  network: Network, *, tls: Optional[TlsEndpoint] = None,
                  ehlo_supported: bool = True):
-        self.hostname = (hostname.text if isinstance(hostname, DnsName)
-                         else hostname).lower().rstrip(".")
+        self.hostname = canonical_host(
+            hostname.text if isinstance(hostname, DnsName) else hostname)
         self.ip = ip
         self.tls = tls if tls is not None else TlsEndpoint()
         self.ehlo_supported = ehlo_supported

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.clock import Instant
-from repro.dns.name import DnsName
+from repro.dns.name import DnsName, canonical_host
 from repro.errors import TlsError, TlsFailure
 from repro.pki.ca import TrustStore
 from repro.pki.certificate import Certificate, hostname_matches
@@ -51,22 +51,23 @@ class TlsEndpoint:
 
     def install(self, pattern: str, cert: Certificate, *,
                 default: bool = False) -> None:
-        self.certificates[pattern.lower().rstrip(".")] = cert
-        self.alert_snis.discard(pattern.lower().rstrip("."))
+        pattern = canonical_host(pattern)
+        self.certificates[pattern] = cert
+        self.alert_snis.discard(pattern)
         if default or self.default_certificate is None:
             self.default_certificate = cert
 
     def uninstall(self, pattern: str) -> None:
-        self.certificates.pop(pattern.lower().rstrip("."), None)
+        self.certificates.pop(canonical_host(pattern), None)
 
     def alert_for(self, sni: str) -> None:
         """Make this endpoint fatally alert for one SNI."""
-        sni = sni.lower().rstrip(".")
+        sni = canonical_host(sni)
         self.certificates.pop(sni, None)
         self.alert_snis.add(sni)
 
     def select_certificate(self, sni: str) -> Optional[Certificate]:
-        sni = sni.lower().rstrip(".")
+        sni = canonical_host(sni)
         if sni in self.alert_snis:
             return None
         exact = self.certificates.get(sni)
@@ -104,7 +105,7 @@ def handshake(endpoint: TlsEndpoint, server_name: str | DnsName,
     unless the server cannot negotiate TLS at all.
     """
     name = server_name.text if isinstance(server_name, DnsName) else server_name
-    name = name.lower().rstrip(".")
+    name = canonical_host(name)
 
     if not endpoint.enabled:
         raise TlsError(TlsFailure.NO_TLS_SUPPORT,

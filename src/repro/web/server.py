@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.dns.name import canonical_host
 from repro.netsim.ip import IpAddress
 from repro.netsim.network import Network
 from repro.tls.handshake import TlsEndpoint
@@ -54,20 +55,20 @@ class WebServer:
     # -- content management ------------------------------------------------
 
     def set_route(self, host: str, path: str, response: HttpResponse) -> None:
-        self._routes[(host.lower().rstrip("."), path)] = response
+        self._routes[(canonical_host(host), path)] = response
 
     def remove_route(self, host: str, path: str) -> None:
-        self._routes.pop((host.lower().rstrip("."), path), None)
+        self._routes.pop((canonical_host(host), path), None)
 
     def host_policy(self, domain: str, policy_text: str,
                     *, status: int = 200) -> None:
         """Publish an MTA-STS policy for *domain* at the well-known URI."""
-        host = f"mta-sts.{domain.lower().rstrip('.')}"
+        host = f"mta-sts.{canonical_host(domain)}"
         self.set_route(host, WELL_KNOWN_STS_PATH,
                        HttpResponse(status, policy_text))
 
     def unhost_policy(self, domain: str) -> None:
-        host = f"mta-sts.{domain.lower().rstrip('.')}"
+        host = f"mta-sts.{canonical_host(domain)}"
         self.remove_route(host, WELL_KNOWN_STS_PATH)
 
     def hosted_policy_domains(self) -> list[str]:
@@ -80,7 +81,7 @@ class WebServer:
 
     def handle(self, host: str, path: str) -> HttpResponse:
         self.request_count += 1
-        response = self._routes.get((host.lower().rstrip("."), path))
+        response = self._routes.get((canonical_host(host), path))
         if response is None:
             return self._default_response
         return response

@@ -1,0 +1,159 @@
+"""The canonical_host() sweep: lint + ẞ/İ keying regressions.
+
+PRs 3, 5, 7, 8 and 9 each fixed the same bug class in a different
+corner: a module normalising hostnames with ``.lower().rstrip(".")``
+while the scanner casefolds via :func:`repro.dns.name.canonical_host`
+(``ẞ`` lowercases to ``ß`` but casefolds to ``ss``; ``İ`` lowercases
+to itself but casefolds to ``i`` + COMBINING DOT ABOVE).  This suite
+pins the sweep shut: a grep-style lint over every module under
+``src/repro`` plus behavioural regressions for the last six converts
+(web routes, TLS SNI keying, PKI hostname matching, MITM victim
+keying, FCrDNS claimed-name comparison, SMTP MX hostnames).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.dns.name import canonical_host
+from repro.pki.certificate import hostname_matches
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# The only module allowed to spell hostname folding out by hand is the
+# one that defines canonical_host() itself.
+ALLOWED = {SRC_ROOT / "dns" / "name.py"}
+
+LOWER_THEN_RSTRIP = re.compile(r"\.lower\(\)\.rstrip\(")
+RSTRIP_THEN_LOWER = re.compile(r"\.rstrip\([^)]*\)\.lower\(\)")
+
+MODULES = sorted(p for p in SRC_ROOT.rglob("*.py") if p not in ALLOWED)
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[str(p.relative_to(SRC_ROOT)) for p in MODULES])
+def test_no_handrolled_hostname_folding(module):
+    source = module.read_text(encoding="utf-8")
+    for pattern in (LOWER_THEN_RSTRIP, RSTRIP_THEN_LOWER):
+        matches = [f"{module.relative_to(SRC_ROOT)}:"
+                   f"{source[:m.start()].count(chr(10)) + 1}"
+                   for m in pattern.finditer(source)]
+        assert not matches, (
+            f"hand-rolled hostname folding (use canonical_host): "
+            f"{matches}")
+
+
+def test_dns_name_still_defines_the_folding():
+    # The lint above is only meaningful while the canonical
+    # implementation actually lives in dns/name.py.
+    source = (SRC_ROOT / "dns" / "name.py").read_text(encoding="utf-8")
+    assert "def canonical_host" in source
+
+
+class TestWebServerRouteKeying:
+    @pytest.fixture
+    def server(self, world):
+        from repro.web.server import WebServer
+        return WebServer("shared", world.fresh_ip("web"), world.network)
+
+    def test_sharp_s_route_fetchable_casefolded(self, server):
+        # ẞ lowercases to ß but casefolds to "ss": a route registered
+        # under the uppercase form must answer the scanner's key.
+        from repro.web.server import HttpResponse
+        server.set_route("MTA-STS.STRAẞE.example.", "/x",
+                         HttpResponse.ok("hit"))
+        assert server.handle("mta-sts.strasse.example", "/x").body == "hit"
+        server.remove_route("mta-sts.STRAẞE.example", "/x")
+        assert server.handle("mta-sts.strasse.example", "/x").status == 404
+
+    def test_dotted_i_route_keying(self, server):
+        from repro.web.server import HttpResponse
+        server.set_route("İSTANBUL.example.", "/x", HttpResponse.ok("hit"))
+        key = canonical_host("İstanbul.example")
+        assert server.handle(key, "/x").body == "hit"
+
+
+class TestTlsSniKeying:
+    def test_sharp_s_sni_selects_certificate(self, world):
+        from repro.tls.handshake import TlsEndpoint, handshake
+        endpoint = TlsEndpoint()
+        cert = world.issue_cert(["strasse.example"])
+        endpoint.install("STRAẞE.example.", cert)
+        assert handshake(endpoint, "strasse.example").certificate is cert
+
+    def test_dotted_i_alert_and_uninstall_keying(self, world):
+        from repro.errors import TlsError
+        from repro.tls.handshake import TlsEndpoint, handshake
+        endpoint = TlsEndpoint()
+        cert = world.issue_cert(["host.example"])
+        endpoint.install("İSTANBUL.example", cert)
+        assert (handshake(endpoint, canonical_host("İstanbul.example"))
+                .certificate is cert)
+        endpoint.alert_for("İSTANBUL.example.")
+        with pytest.raises(TlsError):
+            handshake(endpoint, canonical_host("İstanbul.example"))
+        endpoint.uninstall("İSTANBUL.example")
+        assert endpoint.select_certificate(
+            canonical_host("İstanbul.example")) is None
+
+
+class TestPkiHostnameMatching:
+    def test_sharp_s_pattern_matches_casefolded_name(self):
+        assert hostname_matches("STRAẞE.example.", "strasse.example")
+        assert hostname_matches("strasse.example", "STRAẞE.example.")
+
+    def test_dotted_i_pattern(self):
+        assert hostname_matches("İSTANBUL.example",
+                                canonical_host("İstanbul.example"))
+
+    def test_wildcard_split_survives_canonicalisation(self):
+        assert hostname_matches("*.STRAẞE.example.", "mail.strasse.example")
+        assert not hostname_matches("*.STRAẞE.example",
+                                    "a.b.strasse.example")
+        assert not hostname_matches("*.STRAẞE.example", "strasse.example")
+
+
+class TestMitmVictimKeying:
+    """A MITM targeting ``EXAMPLE.COM.`` must intercept queries for
+    ``example.com`` — the victim-slice keying bug the issue names."""
+
+    def test_spoof_mx_keyed_by_canonical_victim(self, world):
+        from repro.attacks import DnsSpoofer
+        from repro.dns.records import RRType
+        from repro.ecosystem.deployment import DomainSpec, deploy_domain
+        deploy_domain(world, DomainSpec(domain="victim.com"))
+        spoofer = DnsSpoofer(world.resolver)
+        spoofer.spoof_mx("VICTIM.COM.", "mx.evil.net")
+        answer = world.resolver.resolve("victim.com", RRType.MX)
+        assert [r.exchange.text for r in answer.records] == ["mx.evil.net"]
+        assert spoofer.spoofed_lookups >= 1
+
+    def test_block_policy_host_keyed_by_canonical_victim(self, world):
+        from repro.attacks import PolicyHostBlocker
+        from repro.dns.records import RRType
+        from repro.ecosystem.deployment import DomainSpec, deploy_domain
+        deploy_domain(world, DomainSpec(domain="victim.com"))
+        blocker = PolicyHostBlocker(world.resolver)
+        blocker.block_policy_host("VICTIM.COM.")
+        assert world.resolver.try_resolve("mta-sts.victim.com",
+                                          RRType.A) is None
+        assert blocker.blocked_lookups >= 1
+
+
+class TestClaimedHostnameComparisons:
+    def test_smtp_mx_hostname_is_canonicalised(self, world):
+        from repro.smtp.server import MxHost
+        host = MxHost("MAIL.STRAẞE.example.", world.fresh_ip("mx"),
+                      world.network)
+        assert host.hostname == "mail.strasse.example"
+
+    def test_fcrdns_claimed_name_casefolds(self, world):
+        from repro.dns.reverse import fcrdns_check
+        from repro.ecosystem.deployment import DomainSpec, deploy_domain
+        deployed = deploy_domain(world, DomainSpec(domain="example.com"))
+        mx = deployed.mx_hosts[0]
+        straight = fcrdns_check(world.resolver, mx.ip, mx.hostname)
+        shouted = fcrdns_check(world.resolver, mx.ip,
+                               mx.hostname.upper() + ".")
+        assert shouted.passed == straight.passed

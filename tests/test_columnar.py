@@ -1,0 +1,236 @@
+"""Object-vs-columnar identity for the analysis tier.
+
+The contract under test: every figure series, census, summary,
+metrics JSONL line and health report produced from per-field columns
+(:mod:`repro.measurement.columnar`) is **byte-identical** to the one
+produced by iterating :class:`DomainSnapshot` objects — on clean and
+fault-seeded campaigns, over stores written by the serial and the
+process scan backends.  The columnar path exists purely for speed;
+any divergence is a bug in the port, never an acceptable tolerance.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.analysis.series import load_campaign, run_campaign
+from repro.ecosystem.population import PopulationConfig
+from repro.ecosystem.timeline import EcosystemTimeline, TimelineConfig
+from repro.errors import StoreCorruption
+from repro.measurement.classify import EntityClassifier
+from repro.measurement.columnar import (
+    ColumnarStore, delegation_census_view, mismatch_census_view,
+    snapshot_summary_view, taxonomy_census_view,
+)
+from repro.measurement.delegation import delegation_census
+from repro.measurement.executor import ScanExecutor
+from repro.measurement.inconsistency import mismatch_census
+from repro.measurement.store_io import load_state, shard_name
+from repro.measurement.taxonomy import primary_bucket, snapshot_summary
+from repro.netsim.network import FaultPlan
+from repro.obs.exporters import month_jsonl_line
+from repro.obs.monitor import CampaignMonitor
+
+MONTHS = [0, 1, 2]
+
+
+def _timeline(scale=0.004, seed=7):
+    return EcosystemTimeline(
+        TimelineConfig(PopulationConfig(scale=scale, seed=seed)))
+
+
+def _fault_factory(month):
+    return FaultPlan.seeded(seed=1000 + month, rate=0.2)
+
+
+def _campaign_state(tmp_path_factory, name, *, backend="serial", jobs=1,
+                    faults=False):
+    state_dir = str(tmp_path_factory.mktemp(name) / "state")
+    run_campaign(_timeline(), MONTHS, state_dir=state_dir,
+                 executor=ScanExecutor(backend=backend, jobs=jobs),
+                 fault_plan_factory=_fault_factory if faults else None)
+    return state_dir
+
+
+@pytest.fixture(scope="module")
+def clean_state(tmp_path_factory):
+    return _campaign_state(tmp_path_factory, "clean")
+
+
+@pytest.fixture(scope="module")
+def faulted_state(tmp_path_factory):
+    return _campaign_state(tmp_path_factory, "faulted", faults=True)
+
+
+@pytest.fixture(scope="module")
+def process_state(tmp_path_factory):
+    # The process backend owns its materialisation (scan_population),
+    # so commit month by month the way ``audit --save`` does.
+    from repro.ecosystem.timeline import population_to_dict
+    from repro.measurement.store_io import commit_month
+    state_dir = str(tmp_path_factory.mktemp("process") / "state")
+    population = PopulationConfig(scale=0.004, seed=7)
+    executor = ScanExecutor(backend="process", jobs=2)
+    for month in MONTHS:
+        result = executor.scan_population(
+            population, month, fault_seed=1000 + month, fault_rate=0.2)
+        commit_month(state_dir, result.store, month,
+                     date=result.instant.date_string(),
+                     stats=result.stats.as_dict(),
+                     build_stats=result.build_stats,
+                     population=population_to_dict(population))
+    return state_dir
+
+
+@pytest.fixture(scope="module", params=["clean", "faulted", "process"])
+def any_state(request, clean_state, faulted_state, process_state):
+    return {"clean": clean_state, "faulted": faulted_state,
+            "process": process_state}[request.param]
+
+
+def _figure_dump(analysis):
+    """Every figure series + Table 2, serialised exactly as the CI
+    identity job writes them (sort_keys, default=str)."""
+    payload = {
+        "figure4": analysis.figure4_series(),
+        "figure5_self": analysis.figure5_series("self-managed"),
+        "figure5_third": analysis.figure5_series("third-party"),
+        "figure6_self": analysis.figure6_series("self-managed"),
+        "figure6_third": analysis.figure6_series("third-party"),
+        "figure7": analysis.figure7_series(),
+        "figure8": analysis.figure8_series(),
+        "figure9": analysis.figure9_series(),
+        "figure10": analysis.figure10_series(),
+        "table2": analysis.table2_census(),
+    }
+    return json.dumps(payload, sort_keys=True, default=str, indent=1)
+
+
+class TestFigureIdentity:
+    def test_all_figures_byte_identical(self, any_state):
+        via_objects = load_campaign(any_state)
+        via_columns = load_campaign(any_state, columnar=True)
+        assert _figure_dump(via_objects) == _figure_dump(via_columns)
+
+    def test_summaries_and_stats_identical(self, any_state):
+        via_objects = load_campaign(any_state)
+        via_columns = load_campaign(any_state, columnar=True)
+        assert via_objects.summaries == via_columns.summaries
+        assert via_objects.stats_by_month == via_columns.stats_by_month
+        assert via_objects.latest_summary() == via_columns.latest_summary()
+
+
+class TestCensusIdentity:
+    """Each ported aggregation against its object-path original,
+    month by month, on the snapshots actually decoded from disk."""
+
+    def test_census_views_match_object_functions(self, any_state):
+        state = load_state(any_state)
+        cstore = ColumnarStore.from_state_dir(any_state)
+        for month in cstore.months():
+            snapshots = state.store.month(month)
+            view = cstore.month_view(month)
+            verdicts = EntityClassifier(snapshots).classify_all()
+            assert (snapshot_summary_view(view)
+                    == snapshot_summary(snapshots, verdicts))
+            census = {}
+            for snap in snapshots:
+                bucket = primary_bucket(snap)
+                census[bucket] = census.get(bucket, 0) + 1
+            assert {b: c for b, c in taxonomy_census_view(view).items()
+                    if c} == census
+            assert mismatch_census_view(view) == mismatch_census(snapshots)
+            assert (delegation_census_view(view)
+                    == delegation_census(snapshots))
+
+    def test_from_store_matches_from_state_dir(self, faulted_state):
+        state = load_state(faulted_state)
+        from_disk = ColumnarStore.from_state_dir(faulted_state)
+        from_memory = ColumnarStore.from_store(state.store)
+        assert from_disk.months() == from_memory.months()
+        for month in from_disk.months():
+            a, b = from_disk.month_view(month), from_memory.month_view(month)
+            assert snapshot_summary_view(a) == snapshot_summary_view(b)
+            assert mismatch_census_view(a) == mismatch_census_view(b)
+            assert delegation_census_view(a) == delegation_census_view(b)
+            assert taxonomy_census_view(a) == taxonomy_census_view(b)
+
+
+class TestMonitorIdentity:
+    def test_feed_drift_and_health_identical(self, any_state):
+        via_objects = CampaignMonitor.from_state(any_state)
+        via_columns = CampaignMonitor.from_state(any_state, columnar=True)
+        feed = lambda m: [month_jsonl_line(r.month_index, r.date, r.metrics)
+                          for r in m.records]
+        assert feed(via_objects) == feed(via_columns)
+        assert via_objects.drift() == via_columns.drift()
+        assert (via_objects.health().as_dict()
+                == via_columns.health().as_dict())
+
+
+class TestLazyLoading:
+    def test_months_materialise_on_first_view(self, clean_state):
+        cstore = ColumnarStore.from_state_dir(clean_state)
+        assert cstore.loaded_months() == []
+        assert cstore.months() == MONTHS
+        cstore.month_view(MONTHS[1])
+        assert cstore.loaded_months() == [MONTHS[1]]
+        cstore.month_view(MONTHS[1])        # cached, not rebuilt
+        assert cstore.loaded_months() == [MONTHS[1]]
+
+    def test_month_subset_restricts_entries(self, clean_state):
+        cstore = ColumnarStore.from_state_dir(clean_state,
+                                              months=[MONTHS[0]])
+        assert cstore.months() == [MONTHS[0]]
+
+
+class TestCorruptionDetection:
+    def test_flipped_shard_byte_raises(self, clean_state, tmp_path):
+        corrupt = tmp_path / "state"
+        shutil.copytree(clean_state, corrupt)
+        shard = corrupt / shard_name(MONTHS[0])
+        data = bytearray(shard.read_bytes())
+        data[len(data) // 2] ^= 0x20
+        shard.write_bytes(bytes(data))
+        cstore = ColumnarStore.from_state_dir(str(corrupt))
+        with pytest.raises(StoreCorruption):
+            cstore.month_view(MONTHS[0])
+        cstore.month_view(MONTHS[1])        # other months still load
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(StoreCorruption):
+            ColumnarStore.from_state_dir(str(tmp_path))
+
+
+class TestCliIdentity:
+    def test_audit_load_stdout_identical(self, faulted_state, capsys):
+        from repro.cli import main
+        assert main(["audit", "--load", faulted_state, "--stats"]) == 0
+        via_objects = capsys.readouterr().out
+        assert main(["audit", "--load", faulted_state, "--stats",
+                     "--columnar"]) == 0
+        via_columns = capsys.readouterr().out
+        assert via_objects == via_columns
+
+    def test_audit_metrics_out_identical(self, faulted_state, tmp_path,
+                                         capsys):
+        from repro.cli import main
+        a, b = tmp_path / "a.prom", tmp_path / "b.prom"
+        assert main(["audit", "--load", faulted_state, "--month", "1",
+                     "--metrics-out", str(a)]) == 0
+        assert main(["audit", "--load", faulted_state, "--month", "1",
+                     "--metrics-out", str(b), "--columnar"]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_columnar_requires_load(self, capsys):
+        from repro.cli import main
+        assert main(["audit", "--columnar"]) == 2
+        assert "--columnar requires --load" in capsys.readouterr().err
+
+    def test_columnar_rejects_show_repairs(self, faulted_state, capsys):
+        from repro.cli import main
+        assert main(["audit", "--load", faulted_state, "--columnar",
+                     "--show-repairs", "3"]) == 2
+        assert "snapshot objects" in capsys.readouterr().err
